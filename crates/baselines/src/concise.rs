@@ -1,0 +1,185 @@
+//! Concise samples (Gibbons & Matias, SIGMOD '98), as described in §2.
+//!
+//! A uniform sample stored as `(item, sampled-count)` pairs that does not
+//! need the stream length in advance: it "begins optimistically assuming
+//! [inclusion probability] τ = 1" and, when the footprint exceeds its
+//! budget, lowers τ and *subsamples the existing sample* — each sampled
+//! point survives independently with probability `τ'/τ` — evicting
+//! emptied entries. The invariant is that at any moment the contents are
+//! exactly a τ-sample of the prefix seen so far.
+//!
+//! As the paper notes, the final threshold `τ_f` depends on the input in a
+//! complicated way, so no clean space bound exists — which is precisely
+//! why it appears in §2 as related work rather than in Table 1.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::ItemKey;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The concise-samples summary.
+#[derive(Debug, Clone)]
+pub struct ConciseSamples {
+    /// Entry budget: max distinct items held.
+    capacity: usize,
+    /// Current inclusion probability τ.
+    tau: f64,
+    /// Multiplier applied to τ on each overflow (e.g. 0.9).
+    decay: f64,
+    rng: rand::rngs::StdRng,
+    sample: BTreeMap<ItemKey, u64>,
+}
+
+impl ConciseSamples {
+    /// Creates a concise sample holding at most `capacity` distinct items.
+    /// `decay` in (0, 1) controls how aggressively τ is lowered on
+    /// overflow.
+    pub fn new(capacity: usize, decay: f64, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
+        Self {
+            capacity,
+            tau: 1.0,
+            decay,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            sample: BTreeMap::new(),
+        }
+    }
+
+    /// The current inclusion probability τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Subsamples the current sample from τ to τ' (binomial thinning of
+    /// each counter), evicting emptied entries.
+    fn lower_threshold(&mut self) {
+        let new_tau = self.tau * self.decay;
+        let keep = new_tau / self.tau; // = decay
+        self.sample.retain(|_, count| {
+            let mut kept = 0u64;
+            for _ in 0..*count {
+                if self.rng.gen::<f64>() < keep {
+                    kept += 1;
+                }
+            }
+            *count = kept;
+            kept > 0
+        });
+        self.tau = new_tau;
+    }
+}
+
+impl StreamSummary for ConciseSamples {
+    fn name(&self) -> &'static str {
+        "concise-samples"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        if self.rng.gen::<f64>() < self.tau {
+            *self.sample.entry(key).or_insert(0) += 1;
+        }
+        // Lower τ until we are back under budget (usually one step).
+        while self.sample.len() > self.capacity {
+            self.lower_threshold();
+        }
+    }
+
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.sample
+            .get(&key)
+            .map(|&c| (c as f64 / self.tau).round() as u64)
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self
+            .sample
+            .iter()
+            .map(|(&k, &c)| (k, (c as f64 / self.tau).round() as u64))
+            .collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.sample.len() * (std::mem::size_of::<ItemKey>() + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn small_stream_kept_exactly() {
+        // Under budget: τ stays 1, everything is exact.
+        let mut c = ConciseSamples::new(100, 0.9, 0);
+        c.process_stream(&Stream::from_ids([1, 1, 2, 3, 3, 3]));
+        assert_eq!(c.tau(), 1.0);
+        assert_eq!(c.estimate(ItemKey(3)), Some(3));
+        assert_eq!(c.estimate(ItemKey(1)), Some(2));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut c = ConciseSamples::new(50, 0.8, 1);
+        c.process_stream(&Stream::from_ids(0..10_000));
+        assert!(c.sample.len() <= 50);
+        assert!(c.tau() < 1.0, "τ must have been lowered");
+    }
+
+    #[test]
+    fn heavy_item_survives_thinning() {
+        let zipf = Zipf::new(5000, 1.2);
+        let stream = zipf.stream(100_000, 3, ZipfStreamKind::DeterministicRounded);
+        let mut c = ConciseSamples::new(500, 0.9, 7);
+        c.process_stream(&stream);
+        // Rank-0 item has ~14% of the stream; it must still be present
+        // and estimated within a factor of 2.
+        let exact = ExactCounter::from_stream(&stream);
+        let truth = exact.count(ItemKey(0)) as f64;
+        let est = c.estimate(ItemKey(0)).expect("top item evicted") as f64;
+        assert!(
+            est > truth / 2.0 && est < truth * 2.0,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn estimates_rescale_with_tau() {
+        let mut c = ConciseSamples::new(10, 0.5, 5);
+        // Force overflow with distinct items, then add a heavy item.
+        c.process_stream(&Stream::from_ids(0..100));
+        let tau = c.tau();
+        assert!(tau < 1.0);
+        // Sampled count / tau is the estimate.
+        for (_, est) in c.candidates() {
+            assert!(est >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = Stream::from_ids((0..5000u64).map(|i| i % 300));
+        let mut a = ConciseSamples::new(100, 0.9, 11);
+        let mut b = ConciseSamples::new(100, 0.9, 11);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+        assert_eq!(a.tau(), b.tau());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0,1)")]
+    fn bad_decay_rejected() {
+        ConciseSamples::new(10, 1.0, 0);
+    }
+
+    #[test]
+    fn space_bounded_by_capacity() {
+        let mut c = ConciseSamples::new(64, 0.9, 2);
+        c.process_stream(&Stream::from_ids(0..100_000));
+        assert!(c.space_bytes() <= 64 * 16);
+    }
+}

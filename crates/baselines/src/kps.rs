@@ -1,0 +1,224 @@
+//! KPS — Karp, Shenker & Papadimitriou's deterministic frequent-elements
+//! algorithm (§2, §4.1, Table 1), equivalent to Misra–Gries '82 and the
+//! "Frequent" algorithm.
+//!
+//! *"A simple 1-pass deterministic algorithm for finding a superset of
+//! all items with frequency at least θn, in O(1/θ) space."* Maintain at
+//! most `⌈1/θ⌉ - 1` counters. On arrival of `q`: if `q` has a counter,
+//! increment it; else if a counter slot is free, start one at 1; else
+//! decrement *every* counter, dropping those that reach zero.
+//!
+//! Guarantee: every item with `n_q > θ·n` is retained, and each retained
+//! counter undercounts by at most `θ·n`. As §4.1 notes it solves
+//! CANDIDATETOP (via `θ = n_k/n` ⇒ space `O(n/n_k)`, the KPS column of
+//! Table 1) but not APPROXTOP, since low-frequency items can be returned
+//! and counts are biased down.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::ItemKey;
+use std::collections::HashMap;
+
+/// The KPS / Misra–Gries / Frequent summary.
+#[derive(Debug, Clone)]
+pub struct KpsFrequent {
+    /// Maximum number of simultaneous counters (`⌈1/θ⌉ - 1`).
+    capacity: usize,
+    counters: HashMap<ItemKey, u64>,
+    /// Total decrement rounds performed (each subtracts 1 from all
+    /// retained counters) — bounds the undercount of any estimate.
+    decrements: u64,
+}
+
+impl KpsFrequent {
+    /// Creates the summary with an explicit counter budget.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            decrements: 0,
+        }
+    }
+
+    /// Creates the summary for the frequency threshold `θ`: capacity
+    /// `⌈1/θ⌉ - 1`.
+    pub fn for_threshold(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0,1]");
+        let cap = ((1.0 / theta).ceil() as usize).saturating_sub(1).max(1);
+        Self::with_capacity(cap)
+    }
+
+    /// The counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of counters currently live.
+    pub fn live_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total decrement rounds — any estimate undercounts by at most this.
+    pub fn max_undercount(&self) -> u64 {
+        self.decrements
+    }
+}
+
+impl StreamSummary for KpsFrequent {
+    fn name(&self) -> &'static str {
+        "kps-frequent"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, 1);
+            return;
+        }
+        // Full and key absent: decrement all, drop zeros. (The arriving
+        // item and one unit of every counter "cancel"; the arriving item
+        // itself is not stored.)
+        self.decrements += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// The retained (under)count — `None` if the item holds no counter.
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.counters.get(&key).copied()
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * (std::mem::size_of::<ItemKey>() + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn few_distinct_items_counted_exactly() {
+        let mut k = KpsFrequent::with_capacity(5);
+        k.process_stream(&Stream::from_ids([1, 2, 1, 1, 2, 3]));
+        assert_eq!(k.estimate(ItemKey(1)), Some(3));
+        assert_eq!(k.estimate(ItemKey(2)), Some(2));
+        assert_eq!(k.estimate(ItemKey(3)), Some(1));
+        assert_eq!(k.max_undercount(), 0);
+    }
+
+    #[test]
+    fn majority_item_survives_capacity_one() {
+        // capacity 1 is the Boyer–Moore majority vote.
+        let mut k = KpsFrequent::with_capacity(1);
+        let mut ids = vec![7u64; 60];
+        ids.extend(0..40u64);
+        let mut rng_ids = ids.clone();
+        // Interleave deterministically: alternate heavy / junk.
+        rng_ids.sort_by_key(|&v| (v != 7, v));
+        let mut stream_ids = Vec::new();
+        let mut heavy = 0usize;
+        let mut junk = 60usize;
+        for i in 0..100 {
+            if i % 2 == 0 && heavy < 60 {
+                stream_ids.push(7u64);
+                heavy += 1;
+            } else if junk < 100 {
+                stream_ids.push(rng_ids[junk]);
+                junk += 1;
+            } else {
+                stream_ids.push(7u64);
+                heavy += 1;
+            }
+        }
+        k.process_stream(&Stream::from_ids(stream_ids));
+        assert_eq!(k.candidates()[0].0, ItemKey(7));
+    }
+
+    #[test]
+    fn guarantee_superset_of_heavy_items() {
+        // Every item with n_q > θn must be retained.
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(50_000, 3, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let theta = 0.01;
+        let mut k = KpsFrequent::for_threshold(theta);
+        k.process_stream(&stream);
+        let threshold = (theta * stream.len() as f64) as u64;
+        for (&key, &count) in exact.counts() {
+            if count > threshold {
+                assert!(
+                    k.estimate(key).is_some(),
+                    "item {key:?} with count {count} > θn = {threshold} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undercount_bounded_by_decrements() {
+        let zipf = Zipf::new(500, 0.8);
+        let stream = zipf.stream(20_000, 1, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let mut k = KpsFrequent::with_capacity(100);
+        k.process_stream(&stream);
+        for (key, est) in k.candidates() {
+            let truth = exact.count(key);
+            assert!(est <= truth, "KPS must never overcount");
+            assert!(
+                truth - est <= k.max_undercount(),
+                "undercount exceeds decrement bound"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut k = KpsFrequent::with_capacity(10);
+        k.process_stream(&Stream::from_ids(0..10_000));
+        assert!(k.live_counters() <= 10);
+    }
+
+    #[test]
+    fn for_threshold_capacity_formula() {
+        assert_eq!(KpsFrequent::for_threshold(0.5).capacity(), 1);
+        assert_eq!(KpsFrequent::for_threshold(0.1).capacity(), 9);
+        assert_eq!(KpsFrequent::for_threshold(1.0).capacity(), 1);
+    }
+
+    #[test]
+    fn deterministic_no_seed_needed() {
+        let stream = Stream::from_ids((0..5000u64).map(|i| i * i % 997));
+        let mut a = KpsFrequent::with_capacity(50);
+        let mut b = KpsFrequent::with_capacity(50);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0,1]")]
+    fn bad_theta_rejected() {
+        KpsFrequent::for_threshold(0.0);
+    }
+
+    #[test]
+    fn all_distinct_stream_cycles_counters() {
+        let mut k = KpsFrequent::with_capacity(3);
+        k.process_stream(&Stream::from_ids(0..9));
+        // Capacity 3, 9 distinct: repeated fill/decrement; at most 3 live.
+        assert!(k.live_counters() <= 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline frequent-items algorithms.
+//!
+//! The paper's evaluation (§2, §4.1, Table 1) compares the Count-Sketch
+//! against and cites a family of sampling- and counter-based algorithms;
+//! this crate implements all of them behind one trait so the experiment
+//! harness can sweep algorithms uniformly:
+//!
+//! | Algorithm | Paper reference | Module |
+//! |---|---|---|
+//! | SAMPLING (uniform sample + counters) | §2, Table 1 | [`sampling`] |
+//! | Concise samples (Gibbons–Matias) | §2 | [`concise`] |
+//! | Counting samples (Gibbons–Matias) | §2 | [`counting`] |
+//! | KPS / Frequent (Karp–Shenker–Papadimitriou, = Misra–Gries) | §2, §4.1, Table 1 | [`kps`] |
+//! | Lossy Counting (Manku–Motwani) | §2 \[15\] | [`lossy`] |
+//! | Multi-hash iceberg heuristic (Fang et al.) | §2 \[4\] — "similar flavor to our algorithm" | [`multihash`] |
+//! | Sticky Sampling (Manku–Motwani) | §2 \[15\] | [`sticky`] |
+//! | Count-Min sketch (sign-hash ablation) | — | [`countmin`] |
+//! | Space-Saving (Metwally et al.) | — (strongest counter baseline; in the same-titled VLDB'08 survey) | [`spacesaving`] |
+//!
+//! Count-Min and Space-Saving postdate or fall outside the paper but are
+//! included per DESIGN.md: Count-Min isolates exactly what the ±1 sign
+//! hashes buy (it is the sketch *without* them), and Space-Saving is the
+//! counter algorithm a modern comparison cannot omit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concise;
+pub mod counting;
+pub mod countmin;
+pub mod kps;
+pub mod lossy;
+pub mod multihash;
+pub mod sampling;
+pub mod spacesaving;
+pub mod sticky;
+pub mod traits;
+
+pub use concise::ConciseSamples;
+pub use counting::CountingSamples;
+pub use countmin::CountMinSketch;
+pub use kps::KpsFrequent;
+pub use lossy::LossyCounting;
+pub use multihash::MultiHashIceberg;
+pub use sampling::SamplingAlgorithm;
+pub use spacesaving::SpaceSaving;
+pub use sticky::StickySampling;
+pub use traits::StreamSummary;

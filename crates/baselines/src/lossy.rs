@@ -1,0 +1,232 @@
+//! Lossy Counting (Manku & Motwani, VLDB '02) — cited in §2 \[15\].
+//!
+//! Deterministic one-pass summary for iceberg queries. The stream is
+//! conceptually divided into buckets of width `w = ⌈1/ε⌉`. Entries are
+//! `(item, f, Δ)` where `f` counts occurrences since insertion and `Δ`
+//! is the maximum possible undercount (the bucket id at insertion minus
+//! one). At every bucket boundary, entries with `f + Δ ≤ b_current` are
+//! pruned.
+//!
+//! Guarantees: estimates undercount by at most `ε·n`; every item with
+//! `n_q ≥ ε·n` is retained; space is `O((1/ε)·log(ε·n))`.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::ItemKey;
+use std::collections::HashMap;
+
+/// One Lossy Counting entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// Occurrences counted since insertion.
+    f: u64,
+    /// Maximum undercount: `b_insert - 1`.
+    delta: u64,
+}
+
+/// The Lossy Counting summary.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    epsilon: f64,
+    /// Bucket width `w = ⌈1/ε⌉`.
+    width: u64,
+    /// Occurrences processed so far (`n`).
+    processed: u64,
+    entries: HashMap<ItemKey, Entry>,
+}
+
+impl LossyCounting {
+    /// Creates the summary with error parameter `ε`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            epsilon,
+            width: (1.0 / epsilon).ceil() as u64,
+            processed: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Occurrences processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The current bucket id `b = ⌈n/w⌉`.
+    fn current_bucket(&self) -> u64 {
+        self.processed.div_ceil(self.width).max(1)
+    }
+
+    /// Number of live entries.
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Items whose retained count passes the iceberg threshold
+    /// `(s - ε)·n` for support `s` — the Manku–Motwani query.
+    pub fn iceberg(&self, support: f64) -> Vec<(ItemKey, u64)> {
+        assert!(support > self.epsilon, "support must exceed epsilon");
+        let cutoff = ((support - self.epsilon) * self.processed as f64) as u64;
+        let mut v: Vec<(ItemKey, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.f >= cutoff)
+            .map(|(&k, e)| (k, e.f))
+            .collect();
+        sort_candidates(&mut v);
+        v
+    }
+}
+
+impl StreamSummary for LossyCounting {
+    fn name(&self) -> &'static str {
+        "lossy-counting"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        self.processed += 1;
+        let b = self.current_bucket();
+        self.entries
+            .entry(key)
+            .and_modify(|e| e.f += 1)
+            .or_insert(Entry { f: 1, delta: b - 1 });
+        // Prune at bucket boundaries.
+        if self.processed.is_multiple_of(self.width) {
+            self.entries.retain(|_, e| e.f + e.delta > b);
+        }
+    }
+
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.f)
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self.entries.iter().map(|(&k, e)| (k, e.f)).collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.entries.len() * (std::mem::size_of::<ItemKey>() + std::mem::size_of::<Entry>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn short_stream_exact() {
+        let mut l = LossyCounting::new(0.1); // width 10
+        l.process_stream(&Stream::from_ids([1, 1, 2]));
+        assert_eq!(l.estimate(ItemKey(1)), Some(2));
+        assert_eq!(l.estimate(ItemKey(2)), Some(1));
+    }
+
+    #[test]
+    fn undercount_at_most_eps_n() {
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(50_000, 2, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let eps = 0.001;
+        let mut l = LossyCounting::new(eps);
+        l.process_stream(&stream);
+        let bound = (eps * stream.len() as f64).ceil() as u64;
+        for (key, est) in l.candidates() {
+            let truth = exact.count(key);
+            assert!(est <= truth, "lossy counting never overcounts");
+            assert!(
+                truth - est <= bound,
+                "undercount {} > εn = {bound}",
+                truth - est
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_items_retained() {
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(50_000, 4, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let eps = 0.001;
+        let mut l = LossyCounting::new(eps);
+        l.process_stream(&stream);
+        let cutoff = (eps * stream.len() as f64) as u64;
+        for (&key, &count) in exact.counts() {
+            if count >= cutoff.max(1) {
+                assert!(
+                    l.estimate(key).is_some(),
+                    "item with count {count} >= εn = {cutoff} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn space_stays_bounded_on_uniform_stream() {
+        // Uniform streams are the worst case; space must stay near the
+        // O((1/ε) log(εn)) bound, far below the distinct count.
+        let eps = 0.01;
+        let mut l = LossyCounting::new(eps);
+        l.process_stream(&cs_stream::uniform_stream(100_000, 200_000, 1));
+        let bound = (1.0 / eps) * ((eps * 200_000.0).ln().max(1.0)) * 4.0;
+        assert!(
+            (l.live_entries() as f64) < bound,
+            "{} entries vs bound {bound}",
+            l.live_entries()
+        );
+    }
+
+    #[test]
+    fn iceberg_query_returns_frequent_items() {
+        let zipf = Zipf::new(100, 1.2);
+        let stream = zipf.stream(20_000, 3, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let mut l = LossyCounting::new(0.005);
+        l.process_stream(&stream);
+        let support = 0.05;
+        let result = l.iceberg(support);
+        let keys: Vec<ItemKey> = result.iter().map(|&(k, _)| k).collect();
+        // Every true >= s*n item must appear.
+        for (&key, &count) in exact.counts() {
+            if count as f64 >= support * stream.len() as f64 {
+                assert!(keys.contains(&key), "iceberg missed {key:?} ({count})");
+            }
+        }
+        // Nothing below (s-ε)n may appear.
+        for (key, _) in &result {
+            let truth = exact.count(*key);
+            assert!(
+                truth as f64 >= (support - 2.0 * l.epsilon()) * stream.len() as f64,
+                "iceberg returned too-rare item {key:?} ({truth})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must exceed epsilon")]
+    fn iceberg_rejects_support_below_eps() {
+        LossyCounting::new(0.1).iceberg(0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn bad_epsilon_rejected() {
+        LossyCounting::new(0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let stream = Stream::from_ids((0..10_000u64).map(|i| i % 321));
+        let mut a = LossyCounting::new(0.01);
+        let mut b = LossyCounting::new(0.01);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+    }
+}

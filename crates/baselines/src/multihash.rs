@@ -1,0 +1,201 @@
+//! The Fang et al. multiple-hash iceberg heuristic (§2).
+//!
+//! The paper notes that Fang, Shivakumar, Garcia-Molina, Motwani & Ullman
+//! \[4\] "propose a heuristic 1-pass multiple-hash scheme which has a
+//! similar flavor to our algorithm" — it is the closest pre-Count-Sketch
+//! design and belongs in the comparison. The scheme (their
+//! MULTISCAN/DEFER-COUNT family, collapsed to its 1-pass core):
+//!
+//! 1. maintain `t` hash tables of unsigned counters (no sign hashes —
+//!    exactly a Count-Min shape, which is why the paper calls it
+//!    similar in flavor);
+//! 2. an arriving item whose *every* counter (after increment) clears a
+//!    candidate threshold is promoted into an exact-counting candidate
+//!    table of bounded size;
+//! 3. report candidates by their exact counts from promotion onward.
+//!
+//! Being a heuristic, it has no clean guarantee — overcounted buckets
+//! promote false candidates, late-promoted items undercount — which is
+//! the gap the Count-Sketch closes with signed counters + median.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::{BucketHasher, ItemKey, PairwiseHash, SeedSequence};
+use std::collections::HashMap;
+
+/// The multi-hash iceberg heuristic.
+#[derive(Debug, Clone)]
+pub struct MultiHashIceberg {
+    rows: usize,
+    buckets: usize,
+    counters: Vec<u64>,
+    hashers: Vec<PairwiseHash>,
+    /// Promotion threshold on the minimum bucket count.
+    threshold: u64,
+    /// Bounded exact-count table for promoted candidates.
+    capacity: usize,
+    candidates: HashMap<ItemKey, u64>,
+}
+
+impl MultiHashIceberg {
+    /// Creates the structure: `rows × buckets` counters, promoting items
+    /// whose min-counter reaches `threshold` into an exact table of at
+    /// most `capacity` entries (first-come, first-kept — the original
+    /// heuristic's behaviour under overflow).
+    pub fn new(rows: usize, buckets: usize, threshold: u64, capacity: usize, seed: u64) -> Self {
+        assert!(rows > 0 && buckets > 0, "dimensions must be positive");
+        assert!(threshold >= 1, "threshold must be at least 1");
+        assert!(capacity >= 1, "capacity must be positive");
+        let mut seeds = SeedSequence::new(seed);
+        let hashers = (0..rows)
+            .map(|_| PairwiseHash::draw(&mut seeds, buckets))
+            .collect();
+        Self {
+            rows,
+            buckets,
+            counters: vec![0; rows * buckets],
+            hashers,
+            threshold,
+            capacity,
+            candidates: HashMap::new(),
+        }
+    }
+
+    /// Number of promoted candidates.
+    pub fn promoted(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The promotion threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    fn min_bucket(&self, key: u64) -> u64 {
+        (0..self.rows)
+            .map(|i| self.counters[i * self.buckets + self.hashers[i].bucket(key)])
+            .min()
+            .expect("rows > 0")
+    }
+}
+
+impl StreamSummary for MultiHashIceberg {
+    fn name(&self) -> &'static str {
+        "multihash-iceberg"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        // Promoted items count exactly; everything else hits the tables.
+        if let Some(c) = self.candidates.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        let k = key.raw();
+        for i in 0..self.rows {
+            let bucket = self.hashers[i].bucket(k);
+            self.counters[i * self.buckets + bucket] += 1;
+        }
+        if self.candidates.len() < self.capacity && self.min_bucket(k) >= self.threshold {
+            // Promote with the (over)estimate at promotion time: the
+            // heuristic's accounting — later occurrences are exact.
+            self.candidates.insert(key, self.min_bucket(k));
+        }
+    }
+
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.candidates.get(&key).copied()
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self.candidates.iter().map(|(&k, &c)| (k, c)).collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.capacity() * std::mem::size_of::<u64>()
+            + self.hashers.iter().map(|h| h.space_bytes()).sum::<usize>()
+            + self.capacity * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn heavy_item_gets_promoted() {
+        let mut m = MultiHashIceberg::new(3, 256, 10, 50, 1);
+        for _ in 0..100 {
+            m.process(ItemKey(42));
+        }
+        assert!(m.estimate(ItemKey(42)).is_some());
+        // Counts after promotion are exact: promoted at min-bucket 10,
+        // then 90 exact increments.
+        assert_eq!(m.estimate(ItemKey(42)), Some(100));
+    }
+
+    #[test]
+    fn light_items_not_promoted() {
+        let mut m = MultiHashIceberg::new(3, 1024, 50, 50, 2);
+        m.process_stream(&Stream::from_ids(0..500));
+        assert_eq!(m.promoted(), 0, "all-distinct stream promotes nothing");
+    }
+
+    #[test]
+    fn finds_top_items_on_zipf() {
+        let zipf = Zipf::new(1_000, 1.2);
+        let stream = zipf.stream(50_000, 3, ZipfStreamKind::DeterministicRounded);
+        let n = stream.len() as u64;
+        let mut m = MultiHashIceberg::new(5, 2048, n / 100, 100, 4);
+        m.process_stream(&stream);
+        let keys = m.top_k_keys(10);
+        assert!(keys.contains(&ItemKey(0)), "missed the dominant item");
+        assert!(keys.contains(&ItemKey(1)));
+    }
+
+    #[test]
+    fn candidate_table_respects_capacity() {
+        let mut m = MultiHashIceberg::new(2, 4, 2, 3, 5);
+        // Tiny tables: collisions promote aggressively; cap must hold.
+        m.process_stream(&Stream::from_ids((0..1000u64).map(|i| i % 50)));
+        assert!(m.promoted() <= 3);
+    }
+
+    #[test]
+    fn estimates_can_overcount_demonstrating_the_heuristic_gap() {
+        // Two items colliding in every table inflate each other's
+        // promotion estimate — the flaw the Count-Sketch fixes. With 1
+        // row, collisions are guaranteed by a small table.
+        let zipf = Zipf::new(500, 1.0);
+        let stream = zipf.stream(20_000, 7, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let mut m = MultiHashIceberg::new(1, 32, 100, 200, 6);
+        m.process_stream(&stream);
+        let over = m
+            .candidates()
+            .iter()
+            .filter(|&&(key, est)| est > exact.count(key))
+            .count();
+        assert!(
+            over > 0,
+            "with 1 row and 32 buckets some estimate must overcount"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = Stream::from_ids((0..5_000u64).map(|i| i % 100));
+        let mut a = MultiHashIceberg::new(3, 128, 20, 50, 9);
+        let mut b = MultiHashIceberg::new(3, 128, 20, 50, 9);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 1")]
+    fn zero_threshold_rejected() {
+        MultiHashIceberg::new(1, 1, 0, 1, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The SAMPLING algorithm (§2 of the paper).
+//!
+//! *"Keep a uniform random sample of the elements stored as a list of
+//! items plus a counter for each item. If the same object is added more
+//! than once, we simply increment its counter."* Each arrival enters the
+//! sample independently with probability `p`; the stored counter is the
+//! number of *sampled* occurrences, so `counter / p` estimates the true
+//! count.
+//!
+//! The paper sizes `p ≥ O(log k / n_k)` so all top-k items appear w.h.p.,
+//! solving CANDIDATETOP(S, k, O(log k / f_k)); its space is measured as
+//! the number of distinct sampled items (§4.1) — which for Zipfian inputs
+//! is what Table 1's SAMPLING column reports.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::ItemKey;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The uniform-sampling baseline.
+#[derive(Debug, Clone)]
+pub struct SamplingAlgorithm {
+    p: f64,
+    rng: rand::rngs::StdRng,
+    sample: HashMap<ItemKey, u64>,
+    /// Total sampled occurrences (the "size counting repetitions").
+    sampled_occurrences: u64,
+}
+
+impl SamplingAlgorithm {
+    /// Creates the sampler with inclusion probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+        Self {
+            p,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            sample: HashMap::new(),
+            sampled_occurrences: 0,
+        }
+    }
+
+    /// The paper's inclusion probability for CANDIDATETOP(S, k, ·):
+    /// `p = log(k/δ) / n_k` (clamped to 1).
+    pub fn probability_for_top_k(k: usize, delta: f64, nk: u64) -> f64 {
+        assert!(k >= 1 && nk >= 1);
+        assert!(delta > 0.0 && delta < 1.0);
+        ((k as f64 / delta).ln() / nk as f64).min(1.0)
+    }
+
+    /// The inclusion probability in use.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of distinct items currently in the sample — the space
+    /// measure used in §4.1.
+    pub fn distinct_sampled(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Total sampled occurrences (counting repetitions).
+    pub fn sampled_occurrences(&self) -> u64 {
+        self.sampled_occurrences
+    }
+}
+
+impl StreamSummary for SamplingAlgorithm {
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        if self.rng.gen::<f64>() < self.p {
+            *self.sample.entry(key).or_insert(0) += 1;
+            self.sampled_occurrences += 1;
+        }
+    }
+
+    /// Estimate: sampled count scaled by `1/p`, rounded to nearest.
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.sample
+            .get(&key)
+            .map(|&c| (c as f64 / self.p).round() as u64)
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self
+            .sample
+            .iter()
+            .map(|(&k, &c)| (k, (c as f64 / self.p).round() as u64))
+            .collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        // One (key, counter) pair per distinct sampled item.
+        self.sample.len() * (std::mem::size_of::<ItemKey>() + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn p_one_keeps_everything_exactly() {
+        let mut s = SamplingAlgorithm::new(1.0, 0);
+        s.process_stream(&Stream::from_ids([1, 1, 1, 2, 2, 3]));
+        assert_eq!(s.estimate(ItemKey(1)), Some(3));
+        assert_eq!(s.estimate(ItemKey(2)), Some(2));
+        assert_eq!(s.estimate(ItemKey(3)), Some(1));
+        assert_eq!(s.estimate(ItemKey(4)), None);
+        assert_eq!(s.distinct_sampled(), 3);
+        assert_eq!(s.sampled_occurrences(), 6);
+    }
+
+    #[test]
+    fn sampled_fraction_near_p() {
+        let mut s = SamplingAlgorithm::new(0.1, 42);
+        let stream = Stream::from_ids((0..50_000u64).map(|i| i % 100));
+        s.process_stream(&stream);
+        let frac = s.sampled_occurrences() as f64 / 50_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn estimates_scale_by_inverse_p() {
+        let mut s = SamplingAlgorithm::new(0.5, 7);
+        for _ in 0..10_000 {
+            s.process(ItemKey(1));
+        }
+        let est = s.estimate(ItemKey(1)).unwrap() as f64;
+        assert!((est - 10_000.0).abs() < 600.0, "est = {est}");
+    }
+
+    #[test]
+    fn finds_top_items_on_zipf_with_paper_probability() {
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(100_000, 5, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let k = 10;
+        let p = SamplingAlgorithm::probability_for_top_k(k, 0.05, exact.nk(k));
+        let mut s = SamplingAlgorithm::new(p, 3);
+        s.process_stream(&stream);
+        // All top-k items should be in the sample (w.h.p.).
+        for (key, _) in exact.top_k(k) {
+            assert!(
+                s.estimate(key).is_some(),
+                "top item {key:?} missing from sample"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_desc() {
+        let mut s = SamplingAlgorithm::new(1.0, 0);
+        s.process_stream(&Stream::from_ids([1, 2, 2, 3, 3, 3]));
+        let c = s.candidates();
+        assert_eq!(c[0].0, ItemKey(3));
+        assert!(c.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn space_grows_with_distinct_sampled() {
+        let mut s = SamplingAlgorithm::new(1.0, 0);
+        assert_eq!(s.space_bytes(), 0);
+        s.process_stream(&Stream::from_ids(0..100));
+        assert_eq!(s.space_bytes(), 100 * 16);
+    }
+
+    #[test]
+    fn probability_formula() {
+        let p = SamplingAlgorithm::probability_for_top_k(10, 0.1, 100);
+        assert!((p - (100f64.ln() / 100.0)).abs() < 1e-12);
+        // Clamped at 1 for tiny nk.
+        assert_eq!(SamplingAlgorithm::probability_for_top_k(10, 0.1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1]")]
+    fn zero_p_rejected() {
+        SamplingAlgorithm::new(0.0, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = Stream::from_ids((0..1000u64).map(|i| i % 10));
+        let mut a = SamplingAlgorithm::new(0.3, 9);
+        let mut b = SamplingAlgorithm::new(0.3, 9);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+    }
+}

@@ -1,0 +1,221 @@
+//! Space-Saving (Metwally, Agrawal & El Abbadi, ICDT '05).
+//!
+//! Not in the 2002/2004 paper (it postdates it), but the strongest
+//! counter-based frequent-items algorithm and a fixture of every later
+//! comparison — including the same-titled VLDB 2008 survey. Included per
+//! DESIGN.md as the modern counter baseline.
+//!
+//! Maintain exactly `c` counters `(item, count, error)`. On arrival of
+//! `q`: if tracked, increment; else if a slot is free, insert with count
+//! 1; else *replace* the minimum-count item: the newcomer inherits
+//! `count = min + 1` with `error = min`.
+//!
+//! Guarantees: `est - error ≤ n_q ≤ est` for tracked items; every item
+//! with `n_q > n/c` is tracked; with `c = O(k · (something distribution
+//! dependent))` the top-k are tracked — for Zipf(z>½), `c = O(k)`.
+
+use crate::traits::StreamSummary;
+use cs_hash::ItemKey;
+use std::collections::{BTreeSet, HashMap};
+
+/// One Space-Saving counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// The (over)estimate of the item's count.
+    pub count: u64,
+    /// Maximum overestimation (the count inherited at replacement).
+    pub error: u64,
+}
+
+/// The Space-Saving summary (a Stream-Summary structure simplified to a
+/// hash map + ordered set; asymptotics are the same up to log factors).
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: HashMap<ItemKey, Counter>,
+    /// (count, key) ordered view for O(log c) min lookup.
+    ordered: BTreeSet<(u64, ItemKey)>,
+}
+
+impl SpaceSaving {
+    /// Creates the summary with exactly `capacity` counter slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            ordered: BTreeSet::new(),
+        }
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The full counter record for an item.
+    pub fn counter(&self, key: ItemKey) -> Option<Counter> {
+        self.counters.get(&key).copied()
+    }
+
+    /// Guaranteed lower bound on a tracked item's true count
+    /// (`count - error`).
+    pub fn guaranteed_count(&self, key: ItemKey) -> Option<u64> {
+        self.counters.get(&key).map(|c| c.count - c.error)
+    }
+}
+
+impl StreamSummary for SpaceSaving {
+    fn name(&self) -> &'static str {
+        "space-saving"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        if let Some(c) = self.counters.get_mut(&key) {
+            self.ordered.remove(&(c.count, key));
+            c.count += 1;
+            self.ordered.insert((c.count, key));
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, Counter { count: 1, error: 0 });
+            self.ordered.insert((1, key));
+            return;
+        }
+        // Replace the minimum.
+        let &(min_count, min_key) = self.ordered.first().expect("at capacity");
+        self.ordered.remove(&(min_count, min_key));
+        self.counters.remove(&min_key);
+        self.counters.insert(
+            key,
+            Counter {
+                count: min_count + 1,
+                error: min_count,
+            },
+        );
+        self.ordered.insert((min_count + 1, key));
+    }
+
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.counters.get(&key).map(|c| c.count)
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        self.ordered.iter().rev().map(|&(c, k)| (k, c)).collect()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.capacity
+            * (std::mem::size_of::<ItemKey>()
+                + std::mem::size_of::<Counter>()
+                + std::mem::size_of::<(u64, ItemKey)>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn under_capacity_exact() {
+        let mut s = SpaceSaving::new(10);
+        s.process_stream(&Stream::from_ids([1, 1, 1, 2, 2, 3]));
+        assert_eq!(s.estimate(ItemKey(1)), Some(3));
+        assert_eq!(s.estimate(ItemKey(2)), Some(2));
+        assert_eq!(s.estimate(ItemKey(3)), Some(1));
+        assert_eq!(s.counter(ItemKey(1)).unwrap().error, 0);
+    }
+
+    #[test]
+    fn never_undercounts_tracked_items() {
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(50_000, 3, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let mut s = SpaceSaving::new(100);
+        s.process_stream(&stream);
+        for (key, est) in s.candidates() {
+            let truth = exact.count(key);
+            assert!(est >= truth, "space-saving must overestimate");
+            let c = s.counter(key).unwrap();
+            assert!(c.count - c.error <= truth, "lower bound violated");
+        }
+    }
+
+    #[test]
+    fn heavy_items_always_tracked() {
+        // Every item with n_q > n/c is tracked.
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(50_000, 8, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let c = 200;
+        let mut s = SpaceSaving::new(c);
+        s.process_stream(&stream);
+        let threshold = stream.len() as u64 / c as u64;
+        for (&key, &count) in exact.counts() {
+            if count > threshold {
+                assert!(
+                    s.estimate(key).is_some(),
+                    "item with count {count} > n/c = {threshold} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_recall_on_zipf() {
+        let zipf = Zipf::new(1000, 1.1);
+        let stream = zipf.stream(100_000, 5, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let k = 10;
+        let mut s = SpaceSaving::new(10 * k);
+        s.process_stream(&stream);
+        let got = s.top_k_keys(k);
+        let mut hits = 0;
+        for (key, _) in exact.top_k(k) {
+            if got.contains(&key) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 9, "recall {hits}/10");
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut s = SpaceSaving::new(7);
+        s.process_stream(&Stream::from_ids(0..10_000));
+        assert_eq!(s.counters.len(), 7);
+        assert_eq!(s.ordered.len(), 7);
+    }
+
+    #[test]
+    fn replacement_inherits_min_plus_one() {
+        let mut s = SpaceSaving::new(2);
+        s.process(ItemKey(1)); // (1,c1)
+        s.process(ItemKey(1)); // c1 = 2
+        s.process(ItemKey(2)); // c2 = 1
+        s.process(ItemKey(3)); // replaces item 2: count 2, error 1
+        let c = s.counter(ItemKey(3)).unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.error, 1);
+        assert!(s.estimate(ItemKey(2)).is_none());
+    }
+
+    #[test]
+    fn total_count_conservation() {
+        // Sum of counts == stream length (each arrival adds exactly 1 to
+        // the multiset of counts).
+        let zipf = Zipf::new(100, 0.9);
+        let stream = zipf.stream(5000, 1, ZipfStreamKind::Sampled);
+        let mut s = SpaceSaving::new(20);
+        s.process_stream(&stream);
+        let total: u64 = s.candidates().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Sticky Sampling (Manku & Motwani, VLDB '02) — cited in §2 \[15\].
+//!
+//! Probabilistic counterpart of Lossy Counting. Entries are
+//! `(item, count)`; a non-tracked arrival is sampled with rate `1/r`, and
+//! a tracked item is counted exactly ("sticky": once sampled, always
+//! counted). The sampling rate `r` doubles on a schedule — the first
+//! `2t` arrivals use `r = 1`, the next `2t` use `r = 2`, then `4t` at
+//! `r = 4`, and so on, with `t = (1/ε)·ln(1/(s·δ))`. When `r` doubles,
+//! each entry's count is diminished by a geometric repair step (tails of
+//! an unbiased coin decrement; first heads stops), evicting zeros — this
+//! restores the invariant that each entry looks as if sampled at rate
+//! `1/r` from the start.
+//!
+//! Guarantees (w.p. `1-δ`): every item with `n_q ≥ s·n` is reported, and
+//! undercounts are at most `ε·n`. Expected space `O((2/ε)·ln(1/(s·δ)))` —
+//! notably *independent of n*.
+
+use crate::traits::{sort_candidates, StreamSummary};
+use cs_hash::ItemKey;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The Sticky Sampling summary.
+#[derive(Debug, Clone)]
+pub struct StickySampling {
+    epsilon: f64,
+    /// `t = (1/ε)·ln(1/(s·δ))` — the schedule granule.
+    t: f64,
+    /// Current sampling rate divisor `r` (inclusion probability `1/r`).
+    rate: u64,
+    /// Arrivals remaining before the next rate doubling.
+    remaining_at_rate: u64,
+    processed: u64,
+    rng: rand::rngs::StdRng,
+    entries: BTreeMap<ItemKey, u64>,
+}
+
+impl StickySampling {
+    /// Creates the summary for support `s`, error `ε`, failure
+    /// probability `δ`.
+    pub fn new(support: f64, epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(support > epsilon, "support must exceed epsilon");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let t = (1.0 / epsilon) * (1.0 / (support * delta)).ln();
+        Self {
+            epsilon,
+            t,
+            rate: 1,
+            // First window: 2t arrivals at rate 1.
+            remaining_at_rate: (2.0 * t).ceil() as u64,
+            processed: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The current rate divisor `r`.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Live tracked entries.
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Rate-doubling repair: for each entry, toss an unbiased coin;
+    /// while tails, decrement and toss again; evict entries hitting zero.
+    fn double_rate(&mut self) {
+        self.rate *= 2;
+        self.entries.retain(|_, count| {
+            while *count > 0 && self.rng.gen::<bool>() {
+                *count -= 1;
+            }
+            *count > 0
+        });
+        // Next window: r·t arrivals at the new rate (1st window 2t at
+        // r=1, then 2t at r=2, 4t at r=4, ... — window length r·t).
+        self.remaining_at_rate = (self.rate as f64 * self.t).ceil() as u64;
+    }
+
+    /// Items passing the iceberg threshold `(s - ε)·n`.
+    pub fn iceberg(&self, support: f64) -> Vec<(ItemKey, u64)> {
+        assert!(support > self.epsilon);
+        let cutoff = ((support - self.epsilon) * self.processed as f64) as u64;
+        let mut v: Vec<(ItemKey, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, &c)| c >= cutoff)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        sort_candidates(&mut v);
+        v
+    }
+}
+
+impl StreamSummary for StickySampling {
+    fn name(&self) -> &'static str {
+        "sticky-sampling"
+    }
+
+    fn process(&mut self, key: ItemKey) {
+        if self.remaining_at_rate == 0 {
+            self.double_rate();
+        }
+        self.remaining_at_rate -= 1;
+        self.processed += 1;
+        match self.entries.get_mut(&key) {
+            Some(count) => *count += 1, // sticky: exact once tracked
+            None => {
+                if self.rate == 1 || self.rng.gen_range(0..self.rate) == 0 {
+                    self.entries.insert(key, 1);
+                }
+            }
+        }
+    }
+
+    fn estimate(&self, key: ItemKey) -> Option<u64> {
+        self.entries.get(&key).copied()
+    }
+
+    fn candidates(&self) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self.entries.iter().map(|(&k, &c)| (k, c)).collect();
+        sort_candidates(&mut v);
+        v
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.entries.len() * (std::mem::size_of::<ItemKey>() + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+
+    #[test]
+    fn short_stream_exact_at_rate_one() {
+        let mut s = StickySampling::new(0.1, 0.01, 0.1, 0);
+        s.process_stream(&Stream::from_ids([1, 1, 2]));
+        assert_eq!(s.rate(), 1);
+        assert_eq!(s.estimate(ItemKey(1)), Some(2));
+    }
+
+    #[test]
+    fn rate_doubles_on_schedule() {
+        let mut s = StickySampling::new(0.2, 0.1, 0.5, 1);
+        // t = 10·ln(10) ≈ 23; window 2t ≈ 47 at rate 1.
+        let window = (2.0 * s.t).ceil() as u64;
+        for i in 0..window + 1 {
+            s.process(ItemKey(i));
+        }
+        assert_eq!(s.rate(), 2, "rate must double after the first window");
+    }
+
+    #[test]
+    fn never_overcounts() {
+        let zipf = Zipf::new(500, 1.0);
+        let stream = zipf.stream(50_000, 2, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let mut s = StickySampling::new(0.01, 0.001, 0.1, 5);
+        s.process_stream(&stream);
+        for (key, est) in s.candidates() {
+            assert!(est <= exact.count(key), "sticky sampling overcounted");
+        }
+    }
+
+    #[test]
+    fn heavy_items_reported_by_iceberg() {
+        let zipf = Zipf::new(1000, 1.1);
+        let stream = zipf.stream(100_000, 7, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let (support, eps) = (0.02, 0.002);
+        let mut s = StickySampling::new(support, eps, 0.05, 3);
+        s.process_stream(&stream);
+        let found = s.iceberg(support);
+        let keys: Vec<ItemKey> = found.iter().map(|&(k, _)| k).collect();
+        for (&key, &count) in exact.counts() {
+            if count as f64 >= support * stream.len() as f64 {
+                assert!(keys.contains(&key), "missed heavy item {key:?} ({count})");
+            }
+        }
+    }
+
+    #[test]
+    fn space_roughly_independent_of_stream_length() {
+        let mut short = StickySampling::new(0.05, 0.01, 0.1, 4);
+        let mut long = StickySampling::new(0.05, 0.01, 0.1, 4);
+        short.process_stream(&cs_stream::uniform_stream(50_000, 20_000, 1));
+        long.process_stream(&cs_stream::uniform_stream(50_000, 200_000, 2));
+        // 10x the stream should not cost 10x the entries; allow 4x slack.
+        assert!(
+            (long.live_entries() as f64) < 4.0 * (short.live_entries().max(1) as f64),
+            "short {} vs long {}",
+            short.live_entries(),
+            long.live_entries()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = Stream::from_ids((0..20_000u64).map(|i| i % 500));
+        let mut a = StickySampling::new(0.05, 0.01, 0.1, 9);
+        let mut b = StickySampling::new(0.05, 0.01, 0.1, 9);
+        a.process_stream(&stream);
+        b.process_stream(&stream);
+        assert_eq!(a.candidates(), b.candidates());
+    }
+
+    #[test]
+    #[should_panic(expected = "support must exceed epsilon")]
+    fn support_below_eps_rejected() {
+        StickySampling::new(0.01, 0.05, 0.1, 0);
+    }
+}

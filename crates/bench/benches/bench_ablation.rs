@@ -1,0 +1,61 @@
+//! Timing side of the design ablations: row combiners and the two hash
+//! constructions (accuracy side lives in `harness ablation`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::median::Combiner;
+use cs_core::sketch::EstimateScratch;
+use cs_core::{CountSketch, FastCountSketch, SketchParams};
+use cs_hash::ItemKey;
+use cs_stream::{Zipf, ZipfStreamKind};
+
+fn bench_combiners(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let stream = zipf.stream(100_000, 5, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("ablation_combiner_estimate");
+    const PROBES: u64 = 1024;
+    group.throughput(Throughput::Elements(PROBES));
+    for (name, combiner) in [
+        ("median", Combiner::Median),
+        ("mean", Combiner::Mean),
+        ("trimmed_mean", Combiner::TrimmedMean),
+    ] {
+        let mut s = CountSketch::new(SketchParams::new(15, 1024), 7).with_combiner(combiner);
+        s.absorb(&stream, 1);
+        let mut scratch = EstimateScratch::new();
+        group.bench_function(BenchmarkId::new("combiner", name), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for id in 0..PROBES {
+                    acc += s.estimate_with_scratch(black_box(ItemKey(id)), &mut scratch);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_constructions(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let stream = zipf.stream(50_000, 6, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("ablation_hash_add");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("pairwise_poly", |b| {
+        b.iter(|| {
+            let mut s = CountSketch::new(SketchParams::new(7, 1024), 1);
+            s.absorb(black_box(&stream), 1);
+            s
+        })
+    });
+    group.bench_function("multiply_shift_tabulation", |b| {
+        b.iter(|| {
+            let mut s = FastCountSketch::new(SketchParams::new(7, 1024), 1);
+            s.absorb(black_box(&stream), 1);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combiners, bench_hash_constructions);
+criterion_main!(benches);

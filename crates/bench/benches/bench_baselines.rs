@@ -1,0 +1,62 @@
+//! Per-arrival processing throughput of every algorithm in the
+//! comparison suite, on the same Zipf(1.0) stream.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_baselines::{
+    ConciseSamples, CountMinSketch, CountingSamples, KpsFrequent, LossyCounting, SamplingAlgorithm,
+    SpaceSaving, StickySampling, StreamSummary,
+};
+use cs_core::approx_top::ApproxTopProcessor;
+use cs_core::SketchParams;
+use cs_stream::{Stream, Zipf, ZipfStreamKind};
+
+fn stream() -> Stream {
+    Zipf::new(20_000, 1.0).stream(50_000, 7, ZipfStreamKind::Sampled)
+}
+
+fn run_summary<S: StreamSummary>(mut s: S, stream: &Stream) -> usize {
+    s.process_stream(stream);
+    s.candidates().len()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("baseline_process");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function(BenchmarkId::new("alg", "count-sketch"), |b| {
+        b.iter(|| {
+            let mut p = ApproxTopProcessor::new(SketchParams::new(7, 1024), 100, 1);
+            p.observe_stream(black_box(&stream));
+            p.result().items.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg", "sampling"), |b| {
+        b.iter(|| run_summary(SamplingAlgorithm::new(0.01, 1), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "concise-samples"), |b| {
+        b.iter(|| run_summary(ConciseSamples::new(500, 0.9, 1), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "counting-samples"), |b| {
+        b.iter(|| run_summary(CountingSamples::new(500, 0.9, 1), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "kps"), |b| {
+        b.iter(|| run_summary(KpsFrequent::with_capacity(500), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "lossy-counting"), |b| {
+        b.iter(|| run_summary(LossyCounting::new(0.002), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "sticky-sampling"), |b| {
+        b.iter(|| run_summary(StickySampling::new(0.01, 0.002, 0.1, 1), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "count-min"), |b| {
+        b.iter(|| run_summary(CountMinSketch::new(7, 1024, 100, 1), black_box(&stream)))
+    });
+    group.bench_function(BenchmarkId::new("alg", "space-saving"), |b| {
+        b.iter(|| run_summary(SpaceSaving::new(500), black_box(&stream)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

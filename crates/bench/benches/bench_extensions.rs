@@ -1,0 +1,101 @@
+//! Timing of the extension modules: sliding window, iceberg queries,
+//! hierarchical recovery, relative-change scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::hierarchical::HierarchicalCountSketch;
+use cs_core::iceberg::IcebergProcessor;
+use cs_core::relchange::{ChangeObjective, RelChangeSketch};
+use cs_core::window::SlidingSketch;
+use cs_core::SketchParams;
+use cs_stream::{Stream, Zipf, ZipfStreamKind};
+
+fn stream() -> Stream {
+    Zipf::new(20_000, 1.0).stream(50_000, 3, ZipfStreamKind::Sampled)
+}
+
+fn bench_window(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("ext_window_observe");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for epochs in [2usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("window_epochs", epochs),
+            &epochs,
+            |b, &epochs| {
+                b.iter(|| {
+                    let mut w =
+                        SlidingSketch::new(SketchParams::new(5, 1024), 1, 5_000, epochs, 10);
+                    for key in stream.iter() {
+                        w.observe(black_box(key));
+                    }
+                    w.top_k().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iceberg(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("ext_iceberg");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("observe_and_query", |b| {
+        b.iter(|| {
+            let mut p = IcebergProcessor::new(SketchParams::new(5, 1024), 0.01, 0.002, 2, 1);
+            p.observe_stream(black_box(&stream));
+            p.result().items.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("ext_hierarchical");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("absorb", |b| {
+        b.iter(|| {
+            let mut h = HierarchicalCountSketch::new(16, SketchParams::new(5, 512), 1);
+            h.absorb(black_box(&stream), 1);
+            h.total_weight()
+        })
+    });
+    let mut h = HierarchicalCountSketch::new(16, SketchParams::new(5, 512), 1);
+    h.absorb(&stream, 1);
+    group.bench_function("heavy_items_query", |b| {
+        b.iter(|| h.heavy_items(black_box(500), 20).len())
+    });
+    group.finish();
+}
+
+fn bench_relchange(c: &mut Criterion) {
+    let s1 = Zipf::new(20_000, 1.0).stream(25_000, 4, ZipfStreamKind::Sampled);
+    let s2 = Zipf::new(20_000, 1.0).stream(25_000, 5, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("ext_relchange");
+    group.throughput(Throughput::Elements((s1.len() + s2.len()) as u64));
+    for (name, objective) in [
+        ("absolute", ChangeObjective::Absolute),
+        ("percent", ChangeObjective::Percent { smoothing: 100.0 }),
+        ("balanced", ChangeObjective::Balanced { smoothing: 100.0 }),
+    ] {
+        group.bench_function(BenchmarkId::new("objective", name), |b| {
+            b.iter(|| {
+                let mut sk = RelChangeSketch::new(SketchParams::new(5, 1024), 2);
+                sk.absorb_first(black_box(&s1));
+                sk.absorb_second(black_box(&s2));
+                sk.top_changes(&s1, &s2, 10, 40, objective).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window,
+    bench_iceberg,
+    bench_hierarchical,
+    bench_relchange
+);
+criterion_main!(benches);

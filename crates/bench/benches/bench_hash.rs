@@ -1,0 +1,86 @@
+//! Hash-family throughput: the per-update cost driver of the sketch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cs_hash::{
+    BucketHasher, MultiplyShift, PairwiseHash, PairwiseSign, SeedSequence, SignHasher,
+    TabulationHash,
+};
+
+const KEYS: usize = 4096;
+
+fn keys() -> Vec<u64> {
+    let mut s = SeedSequence::new(42);
+    (0..KEYS).map(|_| s.next_seed()).collect()
+}
+
+fn bench_bucket_hashers(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("bucket_hash");
+    group.throughput(Throughput::Elements(KEYS as u64));
+
+    let pairwise = PairwiseHash::draw(&mut SeedSequence::new(1), 1024);
+    group.bench_function("pairwise_poly", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &keys {
+                acc ^= pairwise.bucket(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let ms = MultiplyShift::draw(&mut SeedSequence::new(2), 10);
+    group.bench_function("multiply_shift", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &keys {
+                acc ^= ms.bucket(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let tab = TabulationHash::draw(&mut SeedSequence::new(3), 1024);
+    group.bench_function("tabulation", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &keys {
+                acc ^= tab.bucket(black_box(k));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_sign_hashers(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("sign_hash");
+    group.throughput(Throughput::Elements(KEYS as u64));
+
+    let pairwise = PairwiseSign::draw(&mut SeedSequence::new(4));
+    group.bench_function("pairwise_sign", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &k in &keys {
+                acc += pairwise.sign(black_box(k));
+            }
+            acc
+        })
+    });
+
+    let tab = TabulationHash::draw(&mut SeedSequence::new(5), 2);
+    group.bench_function("tabulation_sign", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &k in &keys {
+                acc += tab.sign(black_box(k));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket_hashers, bench_sign_hashers);
+criterion_main!(benches);

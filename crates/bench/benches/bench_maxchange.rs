@@ -1,0 +1,55 @@
+//! End-to-end §4.2 max-change timing: pass 1 (sketch the difference) and
+//! pass 2 (candidate selection + exact counting), separately and together.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cs_bench::experiments::maxchange::planted_pair;
+use cs_bench::Scale;
+use cs_core::maxchange::{max_change, DiffSketch};
+use cs_core::SketchParams;
+
+fn bench_maxchange(c: &mut Criterion) {
+    let scale = Scale {
+        n: 50_000,
+        m: 10_000,
+        trials: 1,
+        k: 10,
+    };
+    let pair = planted_pair(&scale, 20, 1);
+    let total = (pair.s1.len() + pair.s2.len()) as u64;
+    let params = SketchParams::new(7, 2048);
+
+    let mut group = c.benchmark_group("maxchange");
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function("pass1_sketch_diff", |b| {
+        b.iter(|| {
+            let mut diff = DiffSketch::new(params, 5);
+            diff.absorb_first(black_box(&pair.s1));
+            diff.absorb_second(black_box(&pair.s2));
+            diff
+        })
+    });
+
+    let mut diff = DiffSketch::new(params, 5);
+    diff.absorb_first(&pair.s1);
+    diff.absorb_second(&pair.s2);
+    group.bench_function("pass2_select", |b| {
+        b.iter(|| {
+            diff.top_changes(black_box(&pair.s1), black_box(&pair.s2), 10, 40)
+                .items
+                .len()
+        })
+    });
+
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            max_change(black_box(&pair.s1), black_box(&pair.s2), 10, 40, params, 5)
+                .items
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxchange);
+criterion_main!(benches);

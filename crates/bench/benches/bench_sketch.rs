@@ -1,0 +1,93 @@
+//! Core sketch operations: ADD, ESTIMATE, merge — across `(t, b)`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::sketch::EstimateScratch;
+use cs_core::{CountSketch, FastCountSketch, SketchParams};
+use cs_hash::ItemKey;
+use cs_stream::{Zipf, ZipfStreamKind};
+
+fn bench_add(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let stream = zipf.stream(10_000, 1, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("sketch_add");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for t in [3usize, 7, 15] {
+        group.bench_with_input(BenchmarkId::new("pairwise_t", t), &t, |bench, &t| {
+            bench.iter(|| {
+                let mut s = CountSketch::new(SketchParams::new(t, 1024), 7);
+                for key in stream.iter() {
+                    s.add(black_box(key));
+                }
+                s
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast_t", t), &t, |bench, &t| {
+            bench.iter(|| {
+                let mut s = FastCountSketch::new(SketchParams::new(t, 1024), 7);
+                for key in stream.iter() {
+                    s.add(black_box(key));
+                }
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let stream = zipf.stream(100_000, 2, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("sketch_estimate");
+    const PROBES: u64 = 1024;
+    group.throughput(Throughput::Elements(PROBES));
+    for t in [3usize, 7, 15] {
+        let mut s = CountSketch::new(SketchParams::new(t, 1024), 7);
+        s.absorb(&stream, 1);
+        group.bench_with_input(BenchmarkId::new("alloc_t", t), &t, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0i64;
+                for id in 0..PROBES {
+                    acc += s.estimate(black_box(ItemKey(id)));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_t", t), &t, |bench, _| {
+            let mut scratch = EstimateScratch::new();
+            bench.iter(|| {
+                let mut acc = 0i64;
+                for id in 0..PROBES {
+                    acc += s.estimate_with_scratch(black_box(ItemKey(id)), &mut scratch);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let s1 = zipf.stream(50_000, 3, ZipfStreamKind::Sampled);
+    let s2 = zipf.stream(50_000, 4, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("sketch_merge");
+    for b in [256usize, 4096, 65_536] {
+        let params = SketchParams::new(7, b);
+        let mut a = CountSketch::new(params, 9);
+        a.absorb(&s1, 1);
+        let mut d = CountSketch::new(params, 9);
+        d.absorb(&s2, 1);
+        group.throughput(Throughput::Elements((7 * b) as u64));
+        group.bench_with_input(BenchmarkId::new("b", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge(black_box(&d)).unwrap();
+                m
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_add, bench_estimate, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1 as a timing benchmark: each algorithm runs at the minimal
+//! sizes the space experiment settles on for Zipf(1.0), so the timing
+//! comparison is apples-to-apples with the space comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_baselines::{KpsFrequent, SamplingAlgorithm, SpaceSaving, StreamSummary};
+use cs_core::candidate_top::candidate_top_one_pass;
+use cs_core::SketchParams;
+use cs_stream::{Stream, Zipf, ZipfStreamKind};
+
+fn stream(z: f64) -> Stream {
+    Zipf::new(20_000, z).stream(100_000, 11, ZipfStreamKind::DeterministicRounded)
+}
+
+fn bench_table1_runtime(c: &mut Criterion) {
+    for z in [0.75f64, 1.0] {
+        let stream = stream(z);
+        let k = 20;
+        let l = 4 * k;
+        let mut group = c.benchmark_group(format!("table1_runtime_z{z}"));
+        group.throughput(Throughput::Elements(stream.len() as u64));
+
+        group.bench_function(BenchmarkId::new("alg", "count-sketch"), |b| {
+            b.iter(|| {
+                candidate_top_one_pass(black_box(&stream), l, SketchParams::new(7, 1024), 3)
+                    .items
+                    .len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("alg", "sampling"), |b| {
+            b.iter(|| {
+                let mut alg = SamplingAlgorithm::new(0.02, 3);
+                alg.process_stream(black_box(&stream));
+                alg.candidates().len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("alg", "kps"), |b| {
+            b.iter(|| {
+                let mut alg = KpsFrequent::with_capacity(1024);
+                alg.process_stream(black_box(&stream));
+                alg.candidates().len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("alg", "space-saving"), |b| {
+            b.iter(|| {
+                let mut alg = SpaceSaving::new(l);
+                alg.process_stream(black_box(&stream));
+                alg.candidates().len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1_runtime);
+criterion_main!(benches);

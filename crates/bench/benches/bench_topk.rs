@@ -1,0 +1,48 @@
+//! End-to-end APPROXTOP throughput (§3.2 algorithm: sketch + heap) and
+//! heap-policy comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::approx_top::{ApproxTopProcessor, HeapPolicy};
+use cs_core::SketchParams;
+use cs_stream::{Zipf, ZipfStreamKind};
+
+fn bench_observe(c: &mut Criterion) {
+    let zipf = Zipf::new(50_000, 1.0);
+    let stream = zipf.stream(50_000, 1, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("approx_top_observe");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, policy) in [
+        ("increment_tracked", HeapPolicy::IncrementTracked),
+        ("always_re_estimate", HeapPolicy::AlwaysReEstimate),
+    ] {
+        group.bench_function(BenchmarkId::new("policy", name), |bench| {
+            bench.iter(|| {
+                let mut p =
+                    ApproxTopProcessor::new(SketchParams::new(7, 2048), 100, 3).with_policy(policy);
+                p.observe_stream(black_box(&stream));
+                p.result().items.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let zipf = Zipf::new(50_000, 1.0);
+    let stream = zipf.stream(50_000, 2, ZipfStreamKind::Sampled);
+    let mut group = c.benchmark_group("approx_top_k_scaling");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut p = ApproxTopProcessor::new(SketchParams::new(7, 2048), k, 3);
+                p.observe_stream(black_box(&stream));
+                p.result().items.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_k_scaling);
+criterion_main!(benches);

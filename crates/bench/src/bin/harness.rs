@@ -1,0 +1,145 @@
+//! The experiment harness: one subcommand per table/figure.
+//!
+//! ```text
+//! harness <experiment> [--small] [--records <path>]
+//!
+//! experiments:
+//!   table1            empirical Table 1 (SAMPLING / KPS / Count-Sketch / Space-Saving)
+//!   table1-theory     the paper's analytic Table 1 on the same grid
+//!   error-vs-b        Lemma 4: estimate error against the 8γ bound, sweeping b
+//!   error-vs-t        Lemma 3: failure-rate decay, sweeping t
+//!   approxtop         Lemma 5: APPROXTOP guarantee vs bucket provisioning
+//!   maxchange         §4.2: two-pass max-change on planted query streams
+//!   space-vs-payload  §5: total space including stored objects, sweeping Φ
+//!   crossover         SAMPLING/Count-Sketch min-space ratio on a fine z grid
+//!   ablation          combiner / sign-hash / heap-policy / hash-family ablations
+//!   list-size         §4.1's candidate-list-size formula vs measured minimum
+//!   hierarchical      1-pass hierarchical max-change vs the 2-pass §4.2 algorithm
+//!   throughput        update/query throughput of every algorithm
+//!   report            re-render stored --records JSONL as tables
+//!   all               every experiment above
+//! ```
+//!
+//! `--small` runs the reduced test-scale workload (seconds instead of
+//! minutes). `--records <path>` appends JSON-line records for each data
+//! point.
+
+use cs_bench::experiments::{
+    ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, payload,
+    table1, throughput, ExperimentOutput,
+};
+use cs_bench::Scale;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|report|all> [--small] [--records <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
+    match name {
+        "table1" => Some(table1::run(scale, &table1::DEFAULT_ZS)),
+        "table1-theory" => Some(table1::run_theory(scale, &table1::DEFAULT_ZS)),
+        "error-vs-b" => Some(error_curves::run_error_vs_b(
+            scale,
+            7,
+            &error_curves::DEFAULT_BS,
+        )),
+        "error-vs-t" => Some(error_curves::run_error_vs_t(
+            scale,
+            1024,
+            &error_curves::DEFAULT_TS,
+        )),
+        "approxtop" => Some(approxtop::run(scale, &[0.75, 1.0, 1.25], &[0.1, 0.25, 0.5])),
+        "maxchange" => Some(maxchange::run(scale, &[256, 1024, 4096], &[1, 2, 4])),
+        "space-vs-payload" => Some(payload::run(scale, &payload::DEFAULT_PAYLOADS)),
+        "crossover" => Some(crossover::run(scale, &crossover::DEFAULT_ZS)),
+        "ablation" => Some(ablation::run(scale)),
+        "list-size" => Some(list_size::run(scale, &[0.6, 0.8, 1.0, 1.25, 1.5], 0.5)),
+        "hierarchical" => Some(hierarchical::run(scale, &[256, 1024, 4096])),
+        "throughput" => Some(throughput::run(scale)),
+        _ => None,
+    }
+}
+
+const ALL: [&str; 12] = [
+    "throughput",
+    "hierarchical",
+    "list-size",
+    "table1",
+    "table1-theory",
+    "error-vs-b",
+    "error-vs-t",
+    "approxtop",
+    "maxchange",
+    "space-vs-payload",
+    "crossover",
+    "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].as_str();
+    // `harness report --records <path>` re-renders stored records
+    // without running anything.
+    if experiment == "report" {
+        let path = args
+            .iter()
+            .position(|a| a == "--records")
+            .and_then(|i| args.get(i + 1))
+            .unwrap_or_else(|| {
+                eprintln!("usage: harness report --records <path>");
+                std::process::exit(2);
+            });
+        let jsonl = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", cs_metrics::report::render_report(&jsonl));
+        return;
+    }
+    let small = args.iter().any(|a| a == "--small");
+    let records_path = args
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let scale = if small { Scale::small() } else { Scale::full() };
+
+    let names: Vec<&str> = if experiment == "all" {
+        ALL.to_vec()
+    } else {
+        vec![experiment]
+    };
+
+    let mut records_file = records_path.map(|p| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&p)
+            .unwrap_or_else(|e| panic!("cannot open {p}: {e}"))
+    });
+
+    for name in names {
+        eprintln!(
+            "[harness] running {name} (scale: {})",
+            if small { "small" } else { "full" }
+        );
+        let start = std::time::Instant::now();
+        let Some(out) = run_experiment(name, &scale) else {
+            usage();
+        };
+        println!("{}", out.render());
+        eprintln!("[harness] {name} finished in {:.1?}", start.elapsed());
+        if let Some(f) = records_file.as_mut() {
+            for r in &out.records {
+                writeln!(f, "{}", r.to_json_line()).expect("write records");
+            }
+        }
+    }
+}

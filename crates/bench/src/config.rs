@@ -1,0 +1,67 @@
+//! Experiment scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload scale shared by all experiments.
+///
+/// `full()` is the scale EXPERIMENTS.md reports; `small()` keeps the same
+/// code paths fast enough to run inside `cargo test`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Stream length `n`.
+    pub n: usize,
+    /// Universe size `m`.
+    pub m: usize,
+    /// Monte-Carlo trials per configuration.
+    pub trials: u64,
+    /// Top-k size for the headline experiments.
+    pub k: usize,
+}
+
+impl Scale {
+    /// Test scale: seconds, not minutes.
+    pub fn small() -> Self {
+        Self {
+            n: 20_000,
+            m: 2_000,
+            trials: 3,
+            k: 5,
+        }
+    }
+
+    /// Report scale (used by the harness by default).
+    pub fn full() -> Self {
+        Self {
+            n: 1_000_000,
+            m: 100_000,
+            trials: 5,
+            k: 20,
+        }
+    }
+
+    /// A scale with overridden stream length.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let s = Scale::small();
+        let f = Scale::full();
+        assert!(s.n < f.n);
+        assert!(s.m < f.m);
+        assert!(s.k >= 1 && f.k >= 1);
+        assert!(s.trials >= 1);
+    }
+
+    #[test]
+    fn with_n_overrides() {
+        assert_eq!(Scale::small().with_n(42).n, 42);
+    }
+}

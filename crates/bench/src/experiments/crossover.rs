@@ -1,0 +1,102 @@
+//! **Fig E5** — where the Count-Sketch beats SAMPLING.
+//!
+//! The discussion after Table 1: *"Our algorithm generally beats the
+//! SAMPLING algorithm for Zipfian distributions with parameter less than
+//! 1."* This experiment sweeps a fine Zipf grid and reports the measured
+//! min-space ratio SAMPLING / Count-Sketch; values above 1 mean the
+//! Count-Sketch wins. Expected shape: ratio well above 1 through the
+//! moderate-skew regime, falling toward (or below) 1 as `z` grows past 1
+//! and the problem becomes easy for sampling.
+
+use crate::config::Scale;
+use crate::experiments::table1::{search_count_sketch, search_sampling};
+use crate::experiments::ExperimentOutput;
+use cs_metrics::experiment::ExperimentRecord;
+use cs_metrics::table::fmt_num;
+use cs_metrics::Table;
+use cs_stream::{ExactCounter, Zipf, ZipfStreamKind};
+
+/// Default fine grid.
+pub const DEFAULT_ZS: [f64; 8] = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6];
+
+/// Runs the crossover sweep.
+pub fn run(scale: &Scale, zs: &[f64]) -> ExperimentOutput {
+    let l = 4 * scale.k;
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        format!(
+            "SAMPLING / Count-Sketch measured min-space ratio (k={}, l={l}, n={}, m={})",
+            scale.k, scale.n, scale.m
+        ),
+        &["z", "sampling bytes", "count-sketch bytes", "ratio"],
+    );
+    for &z in zs {
+        let zipf = Zipf::new(scale.m, z);
+        let trials: Vec<_> = (0..scale.trials)
+            .map(|t| {
+                let stream = zipf.stream(scale.n, 0xC0 ^ t, ZipfStreamKind::DeterministicRounded);
+                let exact = ExactCounter::from_stream(&stream);
+                (stream, exact)
+            })
+            .collect();
+        let cs = search_count_sketch(scale, &trials, l);
+        let sampling = search_sampling(scale, &trials, l);
+        let (ratio, s_str, c_str) = match (sampling.space_bytes, cs.space_bytes) {
+            (Some(s), Some(c)) => (s as f64 / c as f64, fmt_num(s as f64), fmt_num(c as f64)),
+            (s, c) => (
+                f64::NAN,
+                s.map(|v| fmt_num(v as f64)).unwrap_or(">cap".into()),
+                c.map(|v| fmt_num(v as f64)).unwrap_or(">cap".into()),
+            ),
+        };
+        table.row(&[
+            format!("{z:.2}"),
+            s_str,
+            c_str,
+            if ratio.is_nan() {
+                "—".into()
+            } else {
+                format!("{ratio:.2}")
+            },
+        ]);
+        out.records.push(
+            ExperimentRecord::new("crossover", "both")
+                .param("z", z)
+                .metric(
+                    "sampling_bytes",
+                    sampling
+                        .space_bytes
+                        .map(|v| v as f64)
+                        .unwrap_or(f64::INFINITY),
+                )
+                .metric(
+                    "count_sketch_bytes",
+                    cs.space_bytes.map(|v| v as f64).unwrap_or(f64::INFINITY),
+                )
+                .metric("ratio", ratio),
+        );
+    }
+    out.tables.push(table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_completes_with_finite_spaces() {
+        let out = run(&Scale::small(), &[0.8, 1.2]);
+        assert_eq!(out.records.len(), 2);
+        for r in &out.records {
+            assert!(r.metrics["sampling_bytes"].is_finite());
+            assert!(r.metrics["count_sketch_bytes"].is_finite());
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_z() {
+        let out = run(&Scale::small(), &[1.0]);
+        assert_eq!(out.tables[0].len(), 1);
+    }
+}

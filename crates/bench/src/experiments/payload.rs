@@ -1,0 +1,96 @@
+//! **Fig E4** — the §5 object-storage argument.
+//!
+//! §5: the counters cost `O(log n)` bits for both algorithms, but the
+//! Count-Sketch stores only `k` *objects* from the stream while SAMPLING
+//! stores its whole distinct sample; with object payload `Φ ≫ log n`
+//! (long query strings, URLs), the Count-Sketch's `O(k·log(n/δ) + k·Φ)`
+//! beats SAMPLING's `O(k·log m·log(k/δ)·Φ)` at `z = 1`.
+//!
+//! Measured: total bytes (structure + payload·stored-objects) at the
+//! minimum sizes found by the Table 1 doubling searches, swept over Φ.
+
+use crate::config::Scale;
+use crate::experiments::table1::{search_count_sketch, search_sampling};
+use crate::experiments::ExperimentOutput;
+use cs_metrics::experiment::ExperimentRecord;
+use cs_metrics::table::fmt_num;
+use cs_metrics::Table;
+use cs_stream::{ExactCounter, Zipf, ZipfStreamKind};
+
+/// Default payload sweep in bytes.
+pub const DEFAULT_PAYLOADS: [usize; 6] = [8, 32, 128, 512, 2048, 8192];
+
+/// Runs the payload experiment at `z = 1.0`.
+pub fn run(scale: &Scale, payloads: &[usize]) -> ExperimentOutput {
+    let zipf = Zipf::new(scale.m, 1.0);
+    let l = 4 * scale.k;
+    let trials: Vec<_> = (0..scale.trials)
+        .map(|t| {
+            let stream = zipf.stream(scale.n, 0xFA ^ t, ZipfStreamKind::DeterministicRounded);
+            let exact = ExactCounter::from_stream(&stream);
+            (stream, exact)
+        })
+        .collect();
+
+    // Find the minimal structures once; payload scales the object term.
+    let cs = search_count_sketch(scale, &trials, l);
+    let sampling = search_sampling(scale, &trials, l);
+
+    // Objects stored: Count-Sketch keeps l heap entries; SAMPLING keeps
+    // its distinct sample (knob is p; recompute the distinct count from
+    // its measured space: 16 bytes per stored object).
+    let cs_structure = cs.space_bytes.unwrap_or(usize::MAX);
+    let sampling_structure = sampling.space_bytes.unwrap_or(usize::MAX);
+    let cs_objects = l;
+    let sampling_objects = sampling_structure / 16;
+
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        format!(
+            "Space vs object payload Φ (§5, z=1.0): CS stores {cs_objects} objects, SAMPLING stores {sampling_objects}"
+        ),
+        &["Φ (bytes)", "count-sketch total", "sampling total", "ratio"],
+    );
+    for &phi in payloads {
+        let cs_total = cs_structure + cs_objects * phi;
+        let sampling_total = sampling_structure + sampling_objects * phi;
+        let ratio = sampling_total as f64 / cs_total as f64;
+        table.row(&[
+            fmt_num(phi as f64),
+            fmt_num(cs_total as f64),
+            fmt_num(sampling_total as f64),
+            format!("{ratio:.2}"),
+        ]);
+        out.records.push(
+            ExperimentRecord::new("space_vs_payload", "both")
+                .param("phi", phi as f64)
+                .metric("count_sketch_total", cs_total as f64)
+                .metric("sampling_total", sampling_total as f64)
+                .metric("ratio", ratio),
+        );
+    }
+    out.tables.push(table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_grows_with_payload() {
+        let out = run(&Scale::small(), &[8, 4096]);
+        let small = out.records[0].metrics["ratio"];
+        let large = out.records[1].metrics["ratio"];
+        assert!(
+            large >= small,
+            "larger payloads must favour the Count-Sketch: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn all_payloads_measured() {
+        let out = run(&Scale::small(), &DEFAULT_PAYLOADS);
+        assert_eq!(out.records.len(), DEFAULT_PAYLOADS.len());
+    }
+}

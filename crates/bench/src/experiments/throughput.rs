@@ -1,0 +1,176 @@
+//! **Runtime table** — wall-clock update and query throughput of every
+//! algorithm on one Zipf(1.0) stream (criterion gives precise per-op
+//! numbers; this gives EXPERIMENTS.md one comparable table without
+//! parsing criterion output).
+
+use crate::config::Scale;
+use crate::experiments::ExperimentOutput;
+use cs_baselines::{
+    ConciseSamples, CountMinSketch, CountingSamples, KpsFrequent, LossyCounting, MultiHashIceberg,
+    SamplingAlgorithm, SpaceSaving, StickySampling, StreamSummary,
+};
+use cs_core::approx_top::ApproxTopProcessor;
+use cs_core::{CountSketch, FastCountSketch, SketchParams};
+use cs_hash::ItemKey;
+use cs_metrics::experiment::ExperimentRecord;
+use cs_metrics::table::fmt_num;
+use cs_metrics::Table;
+use cs_stream::{Stream, Zipf, ZipfStreamKind};
+use std::time::Instant;
+
+fn mops(ops: usize, secs: f64) -> f64 {
+    ops as f64 / secs / 1e6
+}
+
+/// Runs the throughput table.
+pub fn run(scale: &Scale) -> ExperimentOutput {
+    let zipf = Zipf::new(scale.m, 1.0);
+    let stream = zipf.stream(scale.n, 0x77, ZipfStreamKind::Sampled);
+    let probes: Vec<ItemKey> = (0..1000u64).map(ItemKey).collect();
+    let params = SketchParams::new(5, 1024);
+
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        format!(
+            "Throughput on Zipf(1.0), n={}, m={} (Mops/s; query = 1000 point probes)",
+            scale.n, scale.m
+        ),
+        &["algorithm", "update Mops/s", "query Mops/s"],
+    );
+
+    let mut push = |name: &str, update: f64, query: f64| {
+        table.row(&[
+            name.into(),
+            fmt_num(update),
+            if query.is_nan() {
+                "—".into()
+            } else {
+                fmt_num(query)
+            },
+        ]);
+        out.records.push(
+            ExperimentRecord::new("throughput", name)
+                .param("n", scale.n as f64)
+                .metric("update_mops", update)
+                .metric("query_mops", if query.is_nan() { -1.0 } else { query }),
+        );
+    };
+
+    // Count-Sketch (bare) + fast variant.
+    {
+        let start = Instant::now();
+        let mut s = CountSketch::new(params, 1);
+        s.absorb(&stream, 1);
+        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let mut acc = 0i64;
+        for _ in 0..100 {
+            for &p in &probes {
+                acc = acc.wrapping_add(s.estimate(p));
+            }
+        }
+        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
+        std::hint::black_box(acc);
+        push("count-sketch", upd, q);
+    }
+    {
+        let start = Instant::now();
+        let mut s = FastCountSketch::new(params, 1);
+        s.absorb(&stream, 1);
+        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let mut acc = 0i64;
+        for _ in 0..100 {
+            for &p in &probes {
+                acc = acc.wrapping_add(s.estimate(p));
+            }
+        }
+        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
+        std::hint::black_box(acc);
+        push("count-sketch (fast hashes)", upd, q);
+    }
+    // Full APPROXTOP loop.
+    {
+        let start = Instant::now();
+        let mut p = ApproxTopProcessor::new(params, scale.k, 1);
+        p.observe_stream(&stream);
+        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
+        std::hint::black_box(p.result().items.len());
+        push("count-sketch + heap", upd, f64::NAN);
+    }
+
+    // Baselines through the trait.
+    let run_summary = |mut alg: Box<dyn StreamSummary>, stream: &Stream| -> (f64, f64) {
+        let start = Instant::now();
+        alg.process_stream(stream);
+        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            for &p in &probes {
+                acc = acc.wrapping_add(alg.estimate(p).unwrap_or(0));
+            }
+        }
+        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
+        std::hint::black_box(acc);
+        (upd, q)
+    };
+    let baselines: Vec<(&str, Box<dyn StreamSummary>)> = vec![
+        ("sampling", Box::new(SamplingAlgorithm::new(0.01, 2))),
+        (
+            "concise-samples",
+            Box::new(ConciseSamples::new(1000, 0.9, 3)),
+        ),
+        (
+            "counting-samples",
+            Box::new(CountingSamples::new(1000, 0.9, 4)),
+        ),
+        ("kps-frequent", Box::new(KpsFrequent::with_capacity(1000))),
+        ("lossy-counting", Box::new(LossyCounting::new(0.001))),
+        (
+            "sticky-sampling",
+            Box::new(StickySampling::new(0.01, 0.001, 0.1, 5)),
+        ),
+        (
+            "count-min",
+            Box::new(CountMinSketch::new(5, 1024, scale.k, 6)),
+        ),
+        ("space-saving", Box::new(SpaceSaving::new(1000))),
+        (
+            "multihash-iceberg",
+            Box::new(MultiHashIceberg::new(
+                5,
+                1024,
+                (scale.n / 200) as u64,
+                1000,
+                7,
+            )),
+        ),
+    ];
+    for (name, alg) in baselines {
+        let (upd, q) = run_summary(alg, &stream);
+        push(name, upd, q);
+    }
+
+    out.tables.push(table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_runs_and_reports_positive_rates() {
+        let out = run(&Scale::small());
+        assert_eq!(out.tables.len(), 1);
+        assert!(out.records.len() >= 11);
+        for r in &out.records {
+            assert!(
+                r.metrics["update_mops"] > 0.0,
+                "{} reported non-positive throughput",
+                r.algorithm
+            );
+        }
+    }
+}

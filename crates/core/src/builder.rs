@@ -1,0 +1,207 @@
+//! Builder for configuring a Count-Sketch.
+//!
+//! Collects the paper's knobs — dimensions (explicit, or derived from an
+//! `(ε, δ)` guarantee or the Lemma 5 APPROXTOP bound), seed, and row
+//! combiner — and produces either a bare sketch or a full APPROXTOP
+//! processor.
+
+use crate::approx_top::{ApproxTopProcessor, HeapPolicy};
+use crate::error::CoreError;
+use crate::median::Combiner;
+use crate::params::SketchParams;
+use crate::sketch::CountSketch;
+
+/// Builder for [`CountSketch`] / [`ApproxTopProcessor`].
+#[derive(Debug, Clone)]
+pub struct CountSketchBuilder {
+    params: Option<SketchParams>,
+    seed: u64,
+    combiner: Combiner,
+    policy: HeapPolicy,
+}
+
+impl Default for CountSketchBuilder {
+    fn default() -> Self {
+        Self {
+            params: None,
+            seed: 0,
+            combiner: Combiner::Median,
+            policy: HeapPolicy::IncrementTracked,
+        }
+    }
+}
+
+impl CountSketchBuilder {
+    /// Starts a builder with defaults (median combiner, seed 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets explicit dimensions `t × b`.
+    pub fn dimensions(mut self, rows: usize, buckets: usize) -> Self {
+        self.params = Some(SketchParams::new(rows, buckets));
+        self
+    }
+
+    /// Derives dimensions from a point-query guarantee:
+    /// `|est - n_q| ≤ ε·sqrt(F₂)` with probability `1 - δ` per query.
+    pub fn point_query_guarantee(mut self, eps: f64, delta: f64) -> Self {
+        self.params = Some(SketchParams::for_point_queries(eps, delta));
+        self
+    }
+
+    /// Derives dimensions from the Lemma 5 APPROXTOP bound. The caller
+    /// supplies the distribution knowledge the paper assumes: the residual
+    /// second moment and `n_k`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn approx_top_guarantee(
+        mut self,
+        k: usize,
+        residual_f2: f64,
+        nk: u64,
+        eps: f64,
+        n: u64,
+        delta: f64,
+    ) -> Self {
+        self.params = Some(SketchParams::for_approx_top(
+            k,
+            residual_f2,
+            nk,
+            eps,
+            n,
+            delta,
+        ));
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the row combiner.
+    pub fn combiner(mut self, combiner: Combiner) -> Self {
+        self.combiner = combiner;
+        self
+    }
+
+    /// Sets the heap maintenance policy for processors built by
+    /// [`Self::build_processor`].
+    pub fn heap_policy(mut self, policy: HeapPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The dimensions the builder currently holds, if any.
+    pub fn params(&self) -> Option<SketchParams> {
+        self.params
+    }
+
+    /// Builds a bare sketch.
+    pub fn build(self) -> Result<CountSketch, CoreError> {
+        let params = self.params.ok_or_else(|| {
+            CoreError::InvalidParameter(
+                "dimensions not set: call dimensions() or a *_guarantee() method".into(),
+            )
+        })?;
+        Ok(CountSketch::new(params, self.seed).with_combiner(self.combiner))
+    }
+
+    /// Builds a full APPROXTOP processor tracking `k` items.
+    pub fn build_processor(self, k: usize) -> Result<ApproxTopProcessor, CoreError> {
+        let policy = self.policy;
+        let combiner = self.combiner;
+        let params = self.params.ok_or_else(|| {
+            CoreError::InvalidParameter(
+                "dimensions not set: call dimensions() or a *_guarantee() method".into(),
+            )
+        })?;
+        let mut p = ApproxTopProcessor::new(params, k, self.seed);
+        p = p.with_policy(policy).with_combiner(combiner);
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_hash::ItemKey;
+
+    #[test]
+    fn explicit_dimensions() {
+        let s = CountSketchBuilder::new()
+            .dimensions(5, 100)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.buckets(), 100);
+        assert_eq!(s.seed(), 3);
+    }
+
+    #[test]
+    fn missing_dimensions_is_error() {
+        let err = CountSketchBuilder::new().build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter(_)));
+        let err = CountSketchBuilder::new().build_processor(5).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn point_query_guarantee_sets_params() {
+        let b = CountSketchBuilder::new().point_query_guarantee(0.1, 0.01);
+        let p = b.params().unwrap();
+        assert_eq!(p.buckets, 6400);
+        assert!(p.rows >= 7);
+    }
+
+    #[test]
+    fn approx_top_guarantee_sets_params() {
+        let b = CountSketchBuilder::new().approx_top_guarantee(10, 1e4, 50, 0.5, 100_000, 0.01);
+        let p = b.params().unwrap();
+        assert_eq!(
+            p,
+            SketchParams::for_approx_top(10, 1e4, 50, 0.5, 100_000, 0.01)
+        );
+    }
+
+    #[test]
+    fn combiner_propagates() {
+        let s = CountSketchBuilder::new()
+            .dimensions(3, 8)
+            .combiner(Combiner::Mean)
+            .build()
+            .unwrap();
+        assert_eq!(s.combiner(), Combiner::Mean);
+    }
+
+    #[test]
+    fn processor_builds_and_works() {
+        let mut p = CountSketchBuilder::new()
+            .dimensions(5, 64)
+            .seed(9)
+            .build_processor(3)
+            .unwrap();
+        for _ in 0..10 {
+            p.observe(ItemKey(1));
+        }
+        p.observe(ItemKey(2));
+        let top = p.result();
+        assert_eq!(top.items[0].0, ItemKey(1));
+    }
+
+    #[test]
+    fn same_builder_config_gives_mergeable_sketches() {
+        let make = || {
+            CountSketchBuilder::new()
+                .dimensions(4, 32)
+                .seed(5)
+                .build()
+                .unwrap()
+        };
+        let mut a = make();
+        let b = make();
+        assert!(a.merge(&b).is_ok());
+    }
+}

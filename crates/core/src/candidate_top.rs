@@ -1,0 +1,174 @@
+//! CANDIDATETOP(S, k, l) — the §4.1 candidate-list algorithms.
+//!
+//! CANDIDATETOP asks for a list of `l ≥ k` elements containing the true
+//! top `k`. The paper's approach: run the one-pass algorithm tracking
+//! `l` estimated-top elements; "the k most frequent elements can only be
+//! preceded by elements with number of occurrences at least `(1-ε)·n_k`",
+//! so choosing `l` with `n_{l+1} < (1-ε)·n_k` suffices — for Zipf(z) this
+//! gives `l = k/(1-ε)^{1/z} = O(k)`.
+//!
+//! *"If the algorithm is allowed one more pass, the true frequencies of
+//! all the l elements in the algorithm's list can be determined, so the
+//! actual list of k most frequent elements can be correctly identified."*
+//! [`candidate_top_two_pass`] implements exactly that.
+
+use crate::approx_top::{ApproxTopProcessor, ApproxTopResult};
+use crate::params::SketchParams;
+use cs_hash::ItemKey;
+use cs_stream::Stream;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of the two-pass CANDIDATETOP run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateTopResult {
+    /// The `l` candidates from pass 1, by estimate (non-increasing).
+    pub candidates: Vec<(ItemKey, i64)>,
+    /// The final top-`k` with *exact* counts from pass 2, non-increasing.
+    pub top_k: Vec<(ItemKey, u64)>,
+}
+
+/// Pass 1 only: the `l`-element candidate list (a CANDIDATETOP solution
+/// whenever `l` is large enough per §4.1).
+pub fn candidate_top_one_pass(
+    stream: &Stream,
+    l: usize,
+    params: SketchParams,
+    seed: u64,
+) -> ApproxTopResult {
+    let mut p = ApproxTopProcessor::new(params, l, seed);
+    p.observe_stream(stream);
+    p.result()
+}
+
+/// The paper's choice of `l` for Zipf(z): `l = ⌈k / (1-ε)^{1/z}⌉`.
+pub fn zipf_candidate_list_size(k: usize, eps: f64, z: f64) -> usize {
+    assert!(k >= 1);
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(z > 0.0, "z must be positive");
+    (k as f64 / (1.0 - eps).powf(1.0 / z)).ceil() as usize
+}
+
+/// Full two-pass CANDIDATETOP: pass 1 collects `l` candidates via the
+/// sketch + heap; pass 2 counts the candidates exactly and returns the
+/// true top `k` among them.
+pub fn candidate_top_two_pass(
+    stream: &Stream,
+    k: usize,
+    l: usize,
+    params: SketchParams,
+    seed: u64,
+) -> CandidateTopResult {
+    assert!(l >= k, "need l >= k");
+    let pass1 = candidate_top_one_pass(stream, l, params, seed);
+
+    // Pass 2: exact counts for the candidate set only — O(l) counters,
+    // not O(m).
+    let mut exact: HashMap<ItemKey, u64> = pass1.items.iter().map(|&(key, _)| (key, 0)).collect();
+    for key in stream.iter() {
+        if let Some(c) = exact.get_mut(&key) {
+            *c += 1;
+        }
+    }
+    let mut top_k: Vec<(ItemKey, u64)> = exact.into_iter().collect();
+    top_k.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top_k.truncate(k);
+
+    CandidateTopResult {
+        candidates: pass1.items,
+        top_k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ExactCounter, Zipf, ZipfStreamKind};
+    use std::collections::HashSet;
+
+    #[test]
+    fn zipf_list_size_formula() {
+        // z = 1, eps = 0.5: l = 2k.
+        assert_eq!(zipf_candidate_list_size(10, 0.5, 1.0), 20);
+        // z = 0.5, eps = 0.5: l = k / 0.5^2 = 4k.
+        assert_eq!(zipf_candidate_list_size(10, 0.5, 0.5), 40);
+        // Larger z needs smaller l.
+        assert!(zipf_candidate_list_size(10, 0.5, 2.0) < zipf_candidate_list_size(10, 0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn list_size_rejects_bad_eps() {
+        zipf_candidate_list_size(10, 1.0, 1.0);
+    }
+
+    #[test]
+    fn two_pass_recovers_exact_top_k_zipf() {
+        let zipf = Zipf::new(1000, 1.0);
+        let stream = zipf.stream(100_000, 7, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let k = 10;
+        let l = zipf_candidate_list_size(k, 0.5, 1.0);
+        let result = candidate_top_two_pass(&stream, k, l, SketchParams::new(7, 2048), 13);
+
+        let truth: Vec<(ItemKey, u64)> = exact.top_k(k);
+        let truth_keys: HashSet<ItemKey> = truth.iter().map(|&(k, _)| k).collect();
+        let got_keys: HashSet<ItemKey> = result.top_k.iter().map(|&(k, _)| k).collect();
+        assert_eq!(truth_keys, got_keys, "two-pass must recover the true top-k");
+        // And the counts are exact.
+        for &(key, count) in &result.top_k {
+            assert_eq!(count, exact.count(key));
+        }
+    }
+
+    #[test]
+    fn candidates_contain_top_k_even_when_order_fuzzy() {
+        let zipf = Zipf::new(500, 0.8);
+        let stream = zipf.stream(50_000, 3, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        let k = 5;
+        let l = 4 * k;
+        let result = candidate_top_two_pass(&stream, k, l, SketchParams::new(7, 4096), 5);
+        let cand_keys: HashSet<ItemKey> = result.candidates.iter().map(|&(k, _)| k).collect();
+        for (key, _) in exact.top_k(k) {
+            assert!(cand_keys.contains(&key), "candidate list missed {key:?}");
+        }
+    }
+
+    #[test]
+    fn pass2_counts_are_exact() {
+        let stream = Stream::from_ids([1, 1, 1, 2, 2, 3, 4, 5]);
+        let result = candidate_top_two_pass(&stream, 2, 4, SketchParams::new(5, 64), 1);
+        assert_eq!(result.top_k[0], (ItemKey(1), 3));
+        assert_eq!(result.top_k[1], (ItemKey(2), 2));
+    }
+
+    #[test]
+    fn l_equal_k_is_allowed() {
+        let stream = Stream::from_ids([1, 1, 2]);
+        let result = candidate_top_two_pass(&stream, 2, 2, SketchParams::new(3, 16), 0);
+        assert_eq!(result.top_k.len(), 2);
+        assert_eq!(result.candidates.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need l >= k")]
+    fn l_below_k_rejected() {
+        candidate_top_two_pass(&Stream::new(), 5, 4, SketchParams::new(3, 16), 0);
+    }
+
+    #[test]
+    fn fewer_distinct_items_than_k() {
+        let stream = Stream::from_ids([1, 1, 2]);
+        let result = candidate_top_two_pass(&stream, 5, 10, SketchParams::new(3, 16), 0);
+        assert_eq!(result.top_k.len(), 2);
+    }
+
+    #[test]
+    fn one_pass_result_has_l_items() {
+        let zipf = Zipf::new(100, 1.0);
+        let stream = zipf.stream(5000, 1, ZipfStreamKind::Sampled);
+        let r = candidate_top_one_pass(&stream, 15, SketchParams::new(5, 256), 2);
+        assert_eq!(r.items.len(), 15);
+    }
+}

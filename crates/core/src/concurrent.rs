@@ -1,0 +1,218 @@
+//! Parallel sketching via additivity.
+//!
+//! §3.2's observation that sketches with shared hash functions can be
+//! added is not just the basis of the max-change algorithm — it is a
+//! parallelization strategy: partition the stream, sketch each partition
+//! independently with the *same seed*, and merge. The result is
+//! bit-identical to sketching the whole stream sequentially (addition of
+//! counters commutes), which [`sketch_stream_parallel`]'s tests verify.
+//!
+//! [`SharedCountSketch`] additionally offers a lock-based concurrent
+//! handle for pipelines where partitioning is awkward (items arrive on
+//! many threads): per-row striped `parking_lot` mutexes, writers lock one
+//! stripe per row update.
+
+use crate::params::SketchParams;
+use crate::sketch::CountSketch;
+use cs_hash::ItemKey;
+use cs_stream::Stream;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Sketches a stream by fanning chunks out to `threads` worker threads
+/// (crossbeam scoped threads), then merging the per-thread sketches.
+///
+/// Deterministic: the result equals the sequential sketch of the same
+/// stream with the same `(params, seed)`.
+pub fn sketch_stream_parallel(
+    stream: &Stream,
+    params: SketchParams,
+    seed: u64,
+    threads: usize,
+) -> CountSketch {
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || stream.len() < 2 * threads {
+        let mut s = CountSketch::new(params, seed);
+        s.absorb(stream, 1);
+        return s;
+    }
+    let chunks = stream.chunks(threads);
+    let mut partials: Vec<CountSketch> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut local = CountSketch::new(params, seed);
+                    local.absorb(chunk, 1);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut merged = partials.pop().expect("at least one chunk");
+    for p in &partials {
+        merged
+            .merge(p)
+            .expect("same params and seed are compatible");
+    }
+    merged
+}
+
+/// A thread-safe Count-Sketch behind striped locks.
+///
+/// Each row is guarded by its own mutex, so concurrent updates contend
+/// only when they touch the same row — and every update touches every
+/// row, so this is effectively a pipeline of `t` short critical sections.
+/// For bulk throughput prefer [`sketch_stream_parallel`]; this type is for
+/// long-lived shared handles.
+#[derive(Debug, Clone)]
+pub struct SharedCountSketch {
+    inner: Arc<SharedInner>,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    /// The hash functions live in a read-only template sketch; row
+    /// counters are split out under per-row locks.
+    template: CountSketch,
+    rows: Vec<Mutex<Vec<i64>>>,
+}
+
+impl SharedCountSketch {
+    /// Creates a shared sketch.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        let template = CountSketch::new(params, seed);
+        let rows = (0..params.rows)
+            .map(|_| Mutex::new(vec![0i64; template.buckets()]))
+            .collect();
+        Self {
+            inner: Arc::new(SharedInner { template, rows }),
+        }
+    }
+
+    /// Adds one occurrence (thread-safe).
+    pub fn add(&self, key: ItemKey) {
+        self.update(key, 1);
+    }
+
+    /// Turnstile update (thread-safe).
+    pub fn update(&self, key: ItemKey, weight: i64) {
+        // Reuse the template's hashers by probing a throwaway single-add
+        // sketch would be wasteful; instead expose bucket/sign through a
+        // scratch estimate: we re-derive the per-row cells via the
+        // template's public row probe on a zero sketch. To keep this hot
+        // path allocation-free we inline the loop over rows using the
+        // template's hashers through `row_cells`.
+        for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
+            let mut row = self.inner.rows[i].lock();
+            row[bucket] += sign * weight;
+        }
+    }
+
+    /// Estimates a count (thread-safe; takes the row locks one at a time,
+    /// so the estimate is not an atomic snapshot across rows — fine for
+    /// the sketch's probabilistic guarantees, which are per-row).
+    pub fn estimate(&self, key: ItemKey) -> i64 {
+        let mut rows_est = Vec::with_capacity(self.inner.rows.len());
+        for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
+            let row = self.inner.rows[i].lock();
+            rows_est.push(sign * row[bucket]);
+        }
+        let mut scratch = Vec::with_capacity(rows_est.len());
+        crate::median::median(&rows_est, &mut scratch)
+    }
+
+    /// Freezes into a plain sketch (snapshot of all counters).
+    pub fn snapshot(&self) -> CountSketch {
+        let mut s = self.inner.template.clone();
+        let buckets = s.buckets();
+        for (i, row) in self.inner.rows.iter().enumerate() {
+            let row = row.lock();
+            s.counters_mut()[i * buckets..(i + 1) * buckets].copy_from_slice(&row);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{Zipf, ZipfStreamKind};
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let zipf = Zipf::new(300, 1.0);
+        let stream = zipf.stream(30_000, 4, ZipfStreamKind::Sampled);
+        let params = SketchParams::new(5, 256);
+        let sequential = sketch_stream_parallel(&stream, params, 9, 1);
+        for threads in [2, 3, 4, 8] {
+            let parallel = sketch_stream_parallel(&stream, params, 9, threads);
+            assert_eq!(
+                sequential.counters(),
+                parallel.counters(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_handles_tiny_streams() {
+        let stream = Stream::from_ids([1, 2]);
+        let s = sketch_stream_parallel(&stream, SketchParams::new(3, 16), 0, 8);
+        let mut want = CountSketch::new(SketchParams::new(3, 16), 0);
+        want.absorb(&stream, 1);
+        assert_eq!(s.counters(), want.counters());
+    }
+
+    #[test]
+    fn shared_sketch_matches_plain() {
+        let zipf = Zipf::new(100, 1.0);
+        let stream = zipf.stream(5000, 7, ZipfStreamKind::Sampled);
+        let params = SketchParams::new(5, 128);
+        let shared = SharedCountSketch::new(params, 3);
+        for key in stream.iter() {
+            shared.add(key);
+        }
+        let mut plain = CountSketch::new(params, 3);
+        plain.absorb(&stream, 1);
+        assert_eq!(shared.snapshot().counters(), plain.counters());
+        for id in 0..100u64 {
+            assert_eq!(shared.estimate(ItemKey(id)), plain.estimate(ItemKey(id)));
+        }
+    }
+
+    #[test]
+    fn shared_sketch_concurrent_adds() {
+        let params = SketchParams::new(5, 128);
+        let shared = SharedCountSketch::new(params, 11);
+        let zipf = Zipf::new(50, 1.0);
+        let stream = zipf.stream(20_000, 2, ZipfStreamKind::Sampled);
+        let chunks = stream.chunks(4);
+        crossbeam::scope(|scope| {
+            for chunk in &chunks {
+                let handle = shared.clone();
+                scope.spawn(move |_| {
+                    for key in chunk.iter() {
+                        handle.add(key);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut plain = CountSketch::new(params, 11);
+        plain.absorb(&stream, 1);
+        assert_eq!(shared.snapshot().counters(), plain.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_rejected() {
+        sketch_stream_parallel(&Stream::new(), SketchParams::new(1, 1), 0, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Extension: distributed sketching — the §1 "load balancing in a
+//! distributed database" deployment.
+//!
+//! Each site sketches its local stream with a shared `(params, seed)`
+//! configuration; a coordinator merges the site sketches (§3.2
+//! additivity) and answers global frequent-items queries. The point the
+//! paper's space bounds make in this setting: each site ships `O(t·b)`
+//! counters — independent of its stream length — versus the
+//! `O(sample size · object size)` a sampling-based protocol would ship.
+//!
+//! [`DistributedSketch`] is deliberately a thin, explicit state machine
+//! (register sites → collect → query) rather than a network layer: the
+//! wire transfer is whatever serialization the deployment uses (the
+//! sketches are `serde`-serializable).
+
+use crate::error::CoreError;
+use crate::params::SketchParams;
+use crate::sketch::CountSketch;
+use crate::topk::TopKTracker;
+use cs_hash::ItemKey;
+use cs_stream::Stream;
+use serde::{Deserialize, Serialize};
+
+/// One site's contribution: its local sketch plus the local candidate
+/// keys (each site nominates its own top-l; the union is the global
+/// candidate set — a standard two-round heavy-hitter protocol).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// The site's sketch of its local stream.
+    pub sketch: CountSketch,
+    /// The site's local top-l candidate keys.
+    pub candidates: Vec<ItemKey>,
+    /// Local stream length (for diagnostics).
+    pub local_n: u64,
+}
+
+/// Builds one site's report from its local stream.
+pub fn site_report(stream: &Stream, l: usize, params: SketchParams, seed: u64) -> SiteReport {
+    let mut processor = crate::approx_top::ApproxTopProcessor::new(params, l.max(1), seed);
+    processor.observe_stream(stream);
+    let result = processor.result();
+    SiteReport {
+        sketch: processor.sketch().clone(),
+        candidates: result.keys(),
+        local_n: stream.len() as u64,
+    }
+}
+
+/// The coordinator: merges site reports and answers global queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributedSketch {
+    merged: CountSketch,
+    candidates: Vec<ItemKey>,
+    sites: usize,
+    total_n: u64,
+}
+
+impl DistributedSketch {
+    /// Merges site reports. All sites must have sketched with the same
+    /// `(params, seed)`.
+    pub fn coordinate(reports: &[SiteReport]) -> Result<Self, CoreError> {
+        let first = reports
+            .first()
+            .ok_or_else(|| CoreError::InvalidParameter("need at least one site report".into()))?;
+        let mut merged = first.sketch.clone();
+        let mut candidates: Vec<ItemKey> = first.candidates.clone();
+        let mut total_n = first.local_n;
+        for report in &reports[1..] {
+            merged.merge(&report.sketch)?;
+            candidates.extend_from_slice(&report.candidates);
+            total_n += report.local_n;
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        Ok(Self {
+            merged,
+            candidates,
+            sites: reports.len(),
+            total_n,
+        })
+    }
+
+    /// Number of sites merged.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Total occurrences across all sites.
+    pub fn total_n(&self) -> u64 {
+        self.total_n
+    }
+
+    /// Global point estimate for any item.
+    pub fn estimate(&self, key: ItemKey) -> i64 {
+        self.merged.estimate(key)
+    }
+
+    /// Global top-k: every site-nominated candidate re-estimated against
+    /// the merged sketch, best k returned.
+    pub fn top_k(&self, k: usize) -> Vec<(ItemKey, i64)> {
+        let mut tracker = TopKTracker::new(k.max(1));
+        for &key in &self.candidates {
+            let est = self.merged.estimate(key);
+            tracker.offer(key, est);
+        }
+        tracker.items_desc()
+    }
+
+    /// Bytes a site ships to the coordinator (sketch + candidate keys) —
+    /// the communication cost the paper's space bound governs.
+    pub fn per_site_bytes(report: &SiteReport) -> usize {
+        report.sketch.space_bytes() + report.candidates.len() * std::mem::size_of::<ItemKey>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_metrics::recall_at_k;
+    use cs_stream::workloads::balanced_shards;
+    use cs_stream::ExactCounter;
+
+    const PARAMS: SketchParams = SketchParams {
+        rows: 5,
+        buckets: 512,
+    };
+
+    #[test]
+    fn merged_estimates_equal_global_sketch() {
+        let (global, shards) = balanced_shards(500, 40_000, 1.0, 4, 7);
+        let reports: Vec<SiteReport> = shards
+            .iter()
+            .map(|s| site_report(s, 10, PARAMS, 99))
+            .collect();
+        let coord = DistributedSketch::coordinate(&reports).unwrap();
+        let mut global_sketch = CountSketch::new(PARAMS, 99);
+        global_sketch.absorb(&global, 1);
+        for id in 0..500u64 {
+            assert_eq!(
+                coord.estimate(ItemKey(id)),
+                global_sketch.estimate(ItemKey(id)),
+                "id {id}"
+            );
+        }
+        assert_eq!(coord.sites(), 4);
+        assert_eq!(coord.total_n(), 40_000);
+    }
+
+    #[test]
+    fn global_top_k_recovered_from_sites() {
+        let (global, shards) = balanced_shards(1_000, 100_000, 1.0, 8, 3);
+        let exact = ExactCounter::from_stream(&global);
+        let reports: Vec<SiteReport> = shards
+            .iter()
+            .map(|s| site_report(s, 20, PARAMS, 42))
+            .collect();
+        let coord = DistributedSketch::coordinate(&reports).unwrap();
+        let top: Vec<ItemKey> = coord.top_k(10).into_iter().map(|(k, _)| k).collect();
+        let recall = recall_at_k(&top, &exact, 10);
+        assert!(recall >= 0.9, "distributed recall {recall}");
+    }
+
+    #[test]
+    fn mismatched_sites_rejected() {
+        let s = Stream::from_ids([1, 2, 3]);
+        let a = site_report(&s, 2, PARAMS, 1);
+        let b = site_report(&s, 2, PARAMS, 2); // different seed
+        assert!(DistributedSketch::coordinate(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn empty_report_list_rejected() {
+        assert!(matches!(
+            DistributedSketch::coordinate(&[]),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn single_site_degenerates_to_local() {
+        let s = Stream::from_ids([1, 1, 1, 2]);
+        let report = site_report(&s, 2, PARAMS, 5);
+        let coord = DistributedSketch::coordinate(&[report]).unwrap();
+        let top = coord.top_k(1);
+        assert_eq!(top[0].0, ItemKey(1));
+        assert_eq!(top[0].1, 3);
+    }
+
+    #[test]
+    fn per_site_bytes_independent_of_stream_length() {
+        let short = site_report(&Stream::from_ids(0..100), 5, PARAMS, 1);
+        let long = site_report(
+            &Stream::from_ids((0..100_000u64).map(|i| i % 100)),
+            5,
+            PARAMS,
+            1,
+        );
+        let a = DistributedSketch::per_site_bytes(&short);
+        let b = DistributedSketch::per_site_bytes(&long);
+        assert_eq!(a, b, "communication cost must not grow with n");
+    }
+
+    #[test]
+    fn reports_serialize_for_the_wire() {
+        let s = Stream::from_ids([7, 7, 8]);
+        let report = site_report(&s, 2, PARAMS, 9);
+        let bytes = serde_json::to_vec(&report).unwrap();
+        let back: SiteReport = serde_json::from_slice(&bytes).unwrap();
+        let coord = DistributedSketch::coordinate(&[back]).unwrap();
+        assert_eq!(coord.estimate(ItemKey(7)), 2);
+    }
+}

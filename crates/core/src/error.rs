@@ -1,0 +1,69 @@
+//! Error types for sketch operations.
+
+/// Errors returned by fallible sketch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Two sketches cannot be combined: different dimensions.
+    ///
+    /// The paper's additivity requires the sketches to "share the same
+    /// hash functions — and therefore the same `b` and `t`" (§3.2).
+    DimensionMismatch {
+        /// `(t, b)` of the left operand.
+        left: (usize, usize),
+        /// `(t, b)` of the right operand.
+        right: (usize, usize),
+    },
+    /// Two sketches have equal dimensions but were drawn from different
+    /// seeds, so their hash functions differ and adding their counter
+    /// arrays would be meaningless.
+    SeedMismatch {
+        /// Seed of the left operand.
+        left: u64,
+        /// Seed of the right operand.
+        right: u64,
+    },
+    /// A parameter was out of its valid domain.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { left, right } => write!(
+                f,
+                "sketch dimension mismatch: (t, b) = {left:?} vs {right:?}"
+            ),
+            CoreError::SeedMismatch { left, right } => write!(
+                f,
+                "sketch seed mismatch: {left} vs {right} (hash functions differ)"
+            ),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::DimensionMismatch {
+            left: (5, 64),
+            right: (5, 128),
+        };
+        assert!(e.to_string().contains("(5, 64)"));
+        let e = CoreError::SeedMismatch { left: 1, right: 2 };
+        assert!(e.to_string().contains("hash functions differ"));
+        let e = CoreError::InvalidParameter("b must be positive".into());
+        assert!(e.to_string().contains("b must be positive"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidParameter(String::new()));
+    }
+}

@@ -1,0 +1,353 @@
+//! The two-pass max-change algorithm (§4.2).
+//!
+//! Given streams `S1, S2`, find the items maximizing `|n_q^{S2} - n_q^{S1}|`.
+//! The paper's algorithm, implemented verbatim:
+//!
+//! **Pass 1** — update counters only: for each `q` in `S1`,
+//! `h_i[q] -= s_i[q]`; for each `q` in `S2`, `h_i[q] += s_i[q]`. The
+//! sketch now holds the *difference vector* (this is sketch additivity:
+//! `sketch(S2) - sketch(S1)`).
+//!
+//! **Pass 2** — over `S1` and `S2`: for each `q`, compute
+//! `n̂_q = median_i{h_i[q]·s_i[q]}` (an estimate of the signed change),
+//! maintain the set `A` of `l` objects with the largest `|n̂_q|`, and for
+//! every item in `A` maintain exact occurrence counts in each stream.
+//! Because `n̂_q` is *fixed* during pass 2 and the admission threshold
+//! only rises, an item's membership is decided at its first occurrence
+//! and "once an item is removed it is never added back" — so the exact
+//! counts of the survivors are genuinely exact.
+//!
+//! Finally report the `k` items with the largest `|n_q^{S2} - n_q^{S1}|`
+//! among `A`.
+
+use crate::params::SketchParams;
+use crate::sketch::{CountSketch, EstimateScratch};
+use crate::topk::TopKTracker;
+use cs_hash::ItemKey;
+use cs_stream::Stream;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One reported max-change item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeItem {
+    /// The item.
+    pub key: ItemKey,
+    /// Exact signed change `n_q^{S2} - n_q^{S1}` (from pass 2 counting).
+    pub exact_change: i64,
+    /// The sketch's estimate `n̂_q` of the signed change.
+    pub estimated_change: i64,
+}
+
+/// Result of the max-change algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxChangeResult {
+    /// Top-`k` items by exact |change| among the `l` candidates,
+    /// non-increasing in |change|.
+    pub items: Vec<ChangeItem>,
+    /// All `l` surviving candidates (superset of `items`).
+    pub candidates: Vec<ChangeItem>,
+}
+
+/// A Count-Sketch of the difference `S2 - S1`, built incrementally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffSketch {
+    sketch: CountSketch,
+}
+
+impl DiffSketch {
+    /// Creates an empty difference sketch.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        Self {
+            sketch: CountSketch::new(params, seed),
+        }
+    }
+
+    /// Pass-1 step over `S1`: `h_i[q] -= s_i[q]` for each occurrence.
+    pub fn absorb_first(&mut self, stream: &Stream) {
+        self.sketch.absorb(stream, -1);
+    }
+
+    /// Pass-1 step over `S2`: `h_i[q] += s_i[q]` for each occurrence.
+    pub fn absorb_second(&mut self, stream: &Stream) {
+        self.sketch.absorb(stream, 1);
+    }
+
+    /// Builds the difference sketch from two separately-built sketches
+    /// (e.g. sketched on different days and stored): `sketch2 - sketch1`.
+    pub fn from_sketches(
+        sketch1: &CountSketch,
+        sketch2: &CountSketch,
+    ) -> Result<Self, crate::error::CoreError> {
+        let mut diff = sketch2.clone();
+        diff.subtract(sketch1)?;
+        Ok(Self { sketch: diff })
+    }
+
+    /// The estimated signed change `n̂_q` of an item.
+    pub fn estimate_change(&self, key: ItemKey) -> i64 {
+        self.sketch.estimate(key)
+    }
+
+    /// Access to the underlying sketch.
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Pass 2 + final selection. `l` is the candidate-set size (the paper
+    /// keeps `l ≥ k` to absorb estimation error; §4.1 suggests `l = O(k)`).
+    pub fn top_changes(&self, s1: &Stream, s2: &Stream, k: usize, l: usize) -> MaxChangeResult {
+        assert!(l >= k, "need l >= k");
+        // Working memory is O(l): the tracker plus exact counts and the
+        // cached estimate for *tracked* items only. Untracked arrivals
+        // re-probe the sketch (estimates are fixed in pass 2, so a
+        // rejection at first occurrence is a rejection forever).
+        let mut tracker = TopKTracker::new(l);
+        let mut exact: HashMap<ItemKey, (u64, u64)> = HashMap::new();
+        let mut estimates: HashMap<ItemKey, i64> = HashMap::new();
+        let mut scratch = EstimateScratch::new();
+
+        let mut pass = |stream: &Stream, which: usize| {
+            for key in stream.iter() {
+                if !tracker.contains(key) {
+                    let est = self.sketch.estimate_with_scratch(key, &mut scratch);
+                    if let Some((evicted, _)) = tracker.offer(key, est.abs()) {
+                        exact.remove(&evicted);
+                        estimates.remove(&evicted);
+                    }
+                    if tracker.contains(key) {
+                        exact.insert(key, (0, 0));
+                        estimates.insert(key, est);
+                    }
+                }
+                if let Some(counts) = exact.get_mut(&key) {
+                    if which == 1 {
+                        counts.0 += 1;
+                    } else {
+                        counts.1 += 1;
+                    }
+                }
+            }
+        };
+        pass(s1, 1);
+        pass(s2, 2);
+
+        let mut candidates: Vec<ChangeItem> = tracker
+            .items_desc()
+            .into_iter()
+            .map(|(key, _)| {
+                let (c1, c2) = exact.get(&key).copied().unwrap_or((0, 0));
+                ChangeItem {
+                    key,
+                    exact_change: c2 as i64 - c1 as i64,
+                    estimated_change: estimates.get(&key).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| {
+            b.exact_change
+                .unsigned_abs()
+                .cmp(&a.exact_change.unsigned_abs())
+                .then(a.key.cmp(&b.key))
+        });
+        let items = candidates.iter().take(k).copied().collect();
+        MaxChangeResult { items, candidates }
+    }
+}
+
+/// The complete two-pass algorithm in one call.
+///
+/// ```
+/// use cs_core::maxchange::max_change;
+/// use cs_core::SketchParams;
+/// use cs_stream::Stream;
+///
+/// // Yesterday item 1 dominated; today item 2 does.
+/// let s1 = Stream::from_ids(std::iter::repeat(1).take(300).chain([2, 3]));
+/// let s2 = Stream::from_ids(std::iter::repeat(2).take(400).chain([1, 3]));
+/// let result = max_change(&s1, &s2, 2, 8, SketchParams::new(5, 64), 7);
+/// assert_eq!(result.items[0].key.raw(), 2);
+/// assert_eq!(result.items[0].exact_change, 399);
+/// assert_eq!(result.items[1].exact_change, -299);
+/// ```
+pub fn max_change(
+    s1: &Stream,
+    s2: &Stream,
+    k: usize,
+    l: usize,
+    params: SketchParams,
+    seed: u64,
+) -> MaxChangeResult {
+    let mut diff = DiffSketch::new(params, seed);
+    diff.absorb_first(s1);
+    diff.absorb_second(s2);
+    diff.top_changes(s1, s2, k, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::{ChangeSpec, ExactCounter, StreamPair};
+
+    fn planted_pair() -> StreamPair {
+        StreamPair::zipf_background(
+            200,
+            1.0,
+            20_000,
+            vec![
+                ChangeSpec {
+                    item: 10_000,
+                    count_s1: 0,
+                    count_s2: 3000,
+                },
+                ChangeSpec {
+                    item: 10_001,
+                    count_s1: 2500,
+                    count_s2: 0,
+                },
+                ChangeSpec {
+                    item: 10_002,
+                    count_s1: 100,
+                    count_s2: 2100,
+                },
+            ],
+            99,
+        )
+    }
+
+    #[test]
+    fn finds_planted_changes() {
+        let pair = planted_pair();
+        let result = max_change(&pair.s1, &pair.s2, 3, 30, SketchParams::new(7, 1024), 5);
+        let keys: Vec<u64> = result.items.iter().map(|c| c.key.raw()).collect();
+        assert_eq!(keys, vec![10_000, 10_001, 10_002]);
+        assert_eq!(result.items[0].exact_change, 3000);
+        assert_eq!(result.items[1].exact_change, -2500);
+        assert_eq!(result.items[2].exact_change, 2000);
+    }
+
+    #[test]
+    fn exact_changes_match_oracle() {
+        let pair = planted_pair();
+        let e1 = ExactCounter::from_stream(&pair.s1);
+        let e2 = ExactCounter::from_stream(&pair.s2);
+        let result = max_change(&pair.s1, &pair.s2, 5, 50, SketchParams::new(7, 2048), 8);
+        for item in &result.items {
+            let want = e2.count(item.key) as i64 - e1.count(item.key) as i64;
+            assert_eq!(
+                item.exact_change, want,
+                "pass-2 exact count wrong for {:?}",
+                item.key
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_change_tracks_exact_change() {
+        let pair = planted_pair();
+        let result = max_change(&pair.s1, &pair.s2, 3, 30, SketchParams::new(9, 2048), 3);
+        for item in &result.items {
+            let err = (item.estimated_change - item.exact_change).abs();
+            assert!(
+                err < 500,
+                "estimate {} far from exact {} for {:?}",
+                item.estimated_change,
+                item.exact_change,
+                item.key
+            );
+        }
+    }
+
+    #[test]
+    fn diff_sketch_is_additive() {
+        // Building via absorb == building from two separate sketches.
+        let pair = planted_pair();
+        let params = SketchParams::new(5, 512);
+        let mut incremental = DiffSketch::new(params, 7);
+        incremental.absorb_first(&pair.s1);
+        incremental.absorb_second(&pair.s2);
+
+        let mut sk1 = CountSketch::new(params, 7);
+        sk1.absorb(&pair.s1, 1);
+        let mut sk2 = CountSketch::new(params, 7);
+        sk2.absorb(&pair.s2, 1);
+        let from_sketches = DiffSketch::from_sketches(&sk1, &sk2).unwrap();
+
+        assert_eq!(
+            incremental.sketch().counters(),
+            from_sketches.sketch().counters()
+        );
+    }
+
+    #[test]
+    fn from_sketches_rejects_mismatched() {
+        let a = CountSketch::new(SketchParams::new(5, 64), 1);
+        let b = CountSketch::new(SketchParams::new(5, 64), 2);
+        assert!(DiffSketch::from_sketches(&a, &b).is_err());
+    }
+
+    #[test]
+    fn identical_streams_give_near_zero_changes() {
+        let zipf = cs_stream::Zipf::new(100, 1.0);
+        let s = zipf.stream(10_000, 4, cs_stream::ZipfStreamKind::Sampled);
+        let result = max_change(&s, &s, 5, 20, SketchParams::new(5, 512), 2);
+        for item in &result.items {
+            assert_eq!(item.exact_change, 0);
+        }
+    }
+
+    #[test]
+    fn vanishing_item_detected_with_negative_sign() {
+        let pair = StreamPair::zipf_background(
+            100,
+            1.0,
+            5000,
+            vec![ChangeSpec {
+                item: 9999,
+                count_s1: 2000,
+                count_s2: 0,
+            }],
+            1,
+        );
+        let result = max_change(&pair.s1, &pair.s2, 1, 10, SketchParams::new(7, 512), 6);
+        assert_eq!(result.items[0].key.raw(), 9999);
+        assert_eq!(result.items[0].exact_change, -2000);
+        assert!(result.items[0].estimated_change < 0);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let result = max_change(
+            &Stream::new(),
+            &Stream::new(),
+            3,
+            10,
+            SketchParams::new(3, 16),
+            0,
+        );
+        assert!(result.items.is_empty());
+    }
+
+    #[test]
+    fn item_only_in_s2_gets_exact_count() {
+        // An item absent from S1 must still have exact_s1 = 0 and exact
+        // s2 count: membership decided at its first (S2) occurrence.
+        let s1 = Stream::from_ids(std::iter::repeat_n(1, 100));
+        let s2 = Stream::from_ids(std::iter::repeat_n(2, 300));
+        let result = max_change(&s1, &s2, 2, 5, SketchParams::new(5, 64), 3);
+        let by_key: HashMap<u64, i64> = result
+            .items
+            .iter()
+            .map(|c| (c.key.raw(), c.exact_change))
+            .collect();
+        assert_eq!(by_key[&2], 300);
+        assert_eq!(by_key[&1], -100);
+    }
+
+    #[test]
+    #[should_panic(expected = "need l >= k")]
+    fn l_below_k_rejected() {
+        let s = Stream::new();
+        max_change(&s, &s, 5, 3, SketchParams::new(3, 16), 0);
+    }
+}

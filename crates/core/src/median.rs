@@ -1,0 +1,213 @@
+//! Row-estimate combiners.
+//!
+//! The paper takes the **median** of the `t` row estimates and explains
+//! why (§3.2): collisions with very frequent items still corrupt a few
+//! rows, "the mean is very sensitive to outliers, while the median is
+//! sufficiently robust". The mean and a trimmed mean are provided for the
+//! ablation benchmark that demonstrates exactly this.
+
+use serde::{Deserialize, Serialize};
+
+/// Strategy for combining the `t` per-row estimates into one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Combiner {
+    /// The paper's choice: the median.
+    #[default]
+    Median,
+    /// Plain average — the §3.1 "first attempt" the paper rejects.
+    Mean,
+    /// Mean of the middle half (drop the top and bottom quartiles).
+    TrimmedMean,
+}
+
+/// Combines row estimates according to the strategy. `scratch` is
+/// clobbered; reusing one buffer across calls avoids per-estimate
+/// allocation in the hot loop.
+///
+/// # Panics
+/// Panics if `estimates` is empty.
+pub fn combine(combiner: Combiner, estimates: &[i64], scratch: &mut Vec<i64>) -> i64 {
+    assert!(!estimates.is_empty(), "need at least one row estimate");
+    match combiner {
+        Combiner::Median => median(estimates, scratch),
+        Combiner::Mean => mean(estimates),
+        Combiner::TrimmedMean => trimmed_mean(estimates, scratch),
+    }
+}
+
+/// The median of a slice. For even lengths, the mean of the two middle
+/// values (rounded toward zero) — deterministic and symmetric, so the
+/// estimator stays unbiased for symmetric error distributions.
+pub fn median(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
+    assert!(!values.is_empty());
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    let n = scratch.len();
+    let mid = n / 2;
+    let (_, &mut upper_mid, _) = scratch.select_nth_unstable(mid);
+    if n % 2 == 1 {
+        upper_mid
+    } else {
+        // select_nth leaves everything below index `mid` unordered but
+        // <= upper_mid; the lower middle is the max of that prefix.
+        let lower_mid = *scratch[..mid].iter().max().expect("n >= 2");
+        midpoint(lower_mid, upper_mid)
+    }
+}
+
+/// The arithmetic mean, computed in i128 then rounded toward zero.
+pub fn mean(values: &[i64]) -> i64 {
+    assert!(!values.is_empty());
+    let sum: i128 = values.iter().map(|&v| i128::from(v)).sum();
+    (sum / values.len() as i128) as i64
+}
+
+/// Mean of the middle half: sort, drop ⌊n/4⌋ from each end, average the
+/// rest.
+pub fn trimmed_mean(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
+    assert!(!values.is_empty());
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_unstable();
+    let drop = scratch.len() / 4;
+    let mid = &scratch[drop..scratch.len() - drop];
+    mean(mid)
+}
+
+/// Midpoint of two i64 values without overflow, rounded toward zero.
+#[inline]
+fn midpoint(a: i64, b: i64) -> i64 {
+    ((i128::from(a) + i128::from(b)) / 2) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn med(v: &[i64]) -> i64 {
+        median(v, &mut Vec::new())
+    }
+
+    #[test]
+    fn median_odd_lengths() {
+        assert_eq!(med(&[3]), 3);
+        assert_eq!(med(&[3, 1, 2]), 2);
+        assert_eq!(med(&[5, -10, 0, 100, 7]), 5);
+    }
+
+    #[test]
+    fn median_even_lengths() {
+        assert_eq!(med(&[1, 3]), 2);
+        assert_eq!(med(&[4, 1, 3, 2]), 2); // (2+3)/2 rounded toward zero
+        assert_eq!(med(&[-1, -3]), -2);
+        assert_eq!(med(&[0, 0, 10, 10]), 5);
+    }
+
+    #[test]
+    fn median_even_rounds_toward_zero() {
+        assert_eq!(med(&[1, 2]), 1); // 1.5 → 1
+        assert_eq!(med(&[-1, -2]), -1); // -1.5 → -1
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // The §3.2 story: one corrupted row cannot move the median far.
+        assert_eq!(med(&[10, 11, 9, 1_000_000, 10]), 10);
+        assert_eq!(mean(&[10, 11, 9, 1_000_000, 10]), 200_008);
+    }
+
+    #[test]
+    fn median_no_overflow_at_extremes() {
+        assert_eq!(med(&[i64::MAX, i64::MAX]), i64::MAX);
+        assert_eq!(med(&[i64::MIN, i64::MAX]), 0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1, 2, 3]), 2);
+        assert_eq!(mean(&[1, 2]), 1); // 1.5 toward zero
+        assert_eq!(mean(&[-3, -4]), -3); // -3.5 toward zero
+    }
+
+    #[test]
+    fn mean_no_overflow() {
+        assert_eq!(mean(&[i64::MAX, i64::MAX]), i64::MAX);
+        assert_eq!(mean(&[i64::MIN, i64::MIN]), i64::MIN);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // 8 values, drop 2 from each end.
+        let v = [-1_000_000, 1, 2, 3, 4, 5, 6, 1_000_000];
+        assert_eq!(trimmed_mean(&v, &mut Vec::new()), 3); // mean(2,3,4,5)=3.5→3
+    }
+
+    #[test]
+    fn trimmed_mean_short_slices() {
+        assert_eq!(trimmed_mean(&[7], &mut Vec::new()), 7);
+        assert_eq!(trimmed_mean(&[1, 5], &mut Vec::new()), 3);
+        assert_eq!(trimmed_mean(&[1, 5, 9], &mut Vec::new()), 5);
+    }
+
+    #[test]
+    fn combine_dispatches() {
+        let mut scratch = Vec::new();
+        let v = [1, 2, 100];
+        assert_eq!(combine(Combiner::Median, &v, &mut scratch), 2);
+        assert_eq!(combine(Combiner::Mean, &v, &mut scratch), 34);
+        assert_eq!(combine(Combiner::TrimmedMean, &v, &mut scratch), 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one row estimate")]
+    fn combine_empty_panics() {
+        combine(Combiner::Median, &[], &mut Vec::new());
+    }
+
+    #[test]
+    fn default_combiner_is_median() {
+        assert_eq!(Combiner::default(), Combiner::Median);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_median_matches_naive(mut v in prop::collection::vec(any::<i64>(), 1..50)) {
+            let got = med(&v);
+            v.sort_unstable();
+            let n = v.len();
+            let want = if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                ((i128::from(v[n / 2 - 1]) + i128::from(v[n / 2])) / 2) as i64
+            };
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_median_bounded_by_extremes(v in prop::collection::vec(-1000i64..1000, 1..50)) {
+            let m = med(&v);
+            let lo = *v.iter().min().unwrap();
+            let hi = *v.iter().max().unwrap();
+            prop_assert!(m >= lo && m <= hi);
+        }
+
+        #[test]
+        fn prop_median_permutation_invariant(v in prop::collection::vec(any::<i64>(), 1..30)) {
+            let mut rev = v.clone();
+            rev.reverse();
+            prop_assert_eq!(med(&v), med(&rev));
+        }
+
+        #[test]
+        fn prop_all_combiners_bounded(v in prop::collection::vec(-10_000i64..10_000, 1..40)) {
+            let lo = *v.iter().min().unwrap();
+            let hi = *v.iter().max().unwrap();
+            let mut s = Vec::new();
+            for c in [Combiner::Median, Combiner::Mean, Combiner::TrimmedMean] {
+                let x = combine(c, &v, &mut s);
+                prop_assert!(x >= lo && x <= hi, "{c:?} gave {x} outside [{lo},{hi}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Sketch dimensioning from the paper's bounds.
+//!
+//! The analysis fixes the two free parameters as follows.
+//!
+//! * **Rows** `t = Θ(log(n/δ))` (Lemmas 3–4): each row estimate is within
+//!   `8γ` of truth with probability `≥ 5/8`; a Chernoff bound over rows
+//!   makes the *median* fail with probability `e^{-Ω(t)}`, and a union
+//!   bound over the `n` stream positions gives `t = Θ(log(n/δ))`.
+//! * **Buckets** `b ≥ 8·max(k, 32·F₂^{res(k)}/(ε·n_k)²)` (Lemma 5): the
+//!   `8k` term makes NO-COLLISIONS (no top-k item in your bucket) hold
+//!   with probability `≥ 7/8`; the second term makes `16γ ≤ ε·n_k`, so
+//!   estimate error cannot flip the order of items whose counts differ by
+//!   `ε·n_k`.
+//!
+//! The Chernoff constant hidden in `Θ(log(n/δ))` is large; following
+//! standard practice for Count-Sketch implementations this module exposes
+//! both the conservative theoretical constant and the practical default
+//! (`t = ⌈log₂(n/δ)⌉`, odd), and the experiments in `EXPERIMENTS.md`
+//! measure how small `t` can actually go.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a Count-Sketch: `t` hash tables of `b` counters each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchParams {
+    /// Number of rows (hash tables), `t`.
+    pub rows: usize,
+    /// Number of buckets (counters) per row, `b`.
+    pub buckets: usize,
+}
+
+impl SketchParams {
+    /// Creates explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, buckets: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        assert!(buckets > 0, "need at least one bucket");
+        Self { rows, buckets }
+    }
+
+    /// The practical row count `t = ⌈log₂(n/δ)⌉`, rounded up to odd so
+    /// the median is a single row value.
+    pub fn rows_practical(n: u64, delta: f64) -> usize {
+        assert!(n >= 1);
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let t = ((n as f64 / delta).log2()).ceil().max(1.0) as usize;
+        t | 1 // force odd
+    }
+
+    /// The conservative theoretical row count `t = ⌈32·ln(n/δ)⌉` (odd).
+    ///
+    /// The 32 comes from the Hoeffding step in Lemma 3: each row is
+    /// "good" with probability `5/8`, and the median fails only if fewer
+    /// than `t/2` rows are good, so
+    /// `P[fail] ≤ exp(-2t(5/8 - 1/2)²) = exp(-t/32)`.
+    pub fn rows_conservative(n: u64, delta: f64) -> usize {
+        assert!(n >= 1);
+        assert!(delta > 0.0 && delta < 1.0);
+        let t = (32.0 * (n as f64 / delta).ln()).ceil().max(1.0) as usize;
+        t | 1
+    }
+
+    /// The bucket count from Lemma 5:
+    /// `b ≥ 8·max(k, 32·F₂^{res(k)} / (ε·n_k)²)`.
+    ///
+    /// `residual_f2` is `Σ_{q' > k} n_{q'}²` and `nk` is the count of the
+    /// k-th most frequent item. Returns at least 1.
+    ///
+    /// # Panics
+    /// Panics if `eps <= 0` or `nk == 0`.
+    pub fn buckets_for_approx_top(k: usize, residual_f2: f64, nk: u64, eps: f64) -> usize {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(nk > 0, "n_k must be positive");
+        let collision_term = 8.0 * k as f64;
+        let variance_term = 8.0 * 32.0 * residual_f2 / (eps * nk as f64).powi(2);
+        collision_term.max(variance_term).ceil().max(1.0) as usize
+    }
+
+    /// Full Lemma 5 / Theorem 1 dimensioning for APPROXTOP(S, k, ε) with
+    /// failure probability `δ`, using the practical row count.
+    pub fn for_approx_top(
+        k: usize,
+        residual_f2: f64,
+        nk: u64,
+        eps: f64,
+        n: u64,
+        delta: f64,
+    ) -> Self {
+        Self {
+            rows: Self::rows_practical(n, delta),
+            buckets: Self::buckets_for_approx_top(k, residual_f2, nk, eps),
+        }
+    }
+
+    /// Dimensioning in the Count-Min style interface `(ε', δ)` for pure
+    /// point queries: guarantees `|est - n_q| ≤ ε'·sqrt(F₂)` w.p. `1-δ`
+    /// per query. Sets `b = ⌈8/ε'²⌉` (so `8γ ≤ ε'·sqrt(F₂)` via eq. 5
+    /// with k = 0... concretely `8·sqrt(F₂/b) ≤ ε'·sqrt(F₂) ⇔ b ≥ 64/ε'²`;
+    /// we use the exact 64) and `t = ⌈log₂(1/δ)⌉` odd.
+    pub fn for_point_queries(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0,1]");
+        assert!(delta > 0.0 && delta < 1.0);
+        let buckets = (64.0 / (eps * eps)).ceil() as usize;
+        let rows = (((1.0 / delta).log2()).ceil().max(1.0) as usize) | 1;
+        Self { rows, buckets }
+    }
+
+    /// Total number of counters `t·b` (the `O(tb)` part of the paper's
+    /// `O(tb + k)` space bound).
+    pub fn total_counters(&self) -> usize {
+        self.rows * self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_stores_dimensions() {
+        let p = SketchParams::new(5, 100);
+        assert_eq!(p.rows, 5);
+        assert_eq!(p.buckets, 100);
+        assert_eq!(p.total_counters(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one row")]
+    fn zero_rows_rejected() {
+        SketchParams::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one bucket")]
+    fn zero_buckets_rejected() {
+        SketchParams::new(10, 0);
+    }
+
+    #[test]
+    fn rows_practical_is_odd_and_grows_with_n() {
+        let t1 = SketchParams::rows_practical(1_000, 0.01);
+        let t2 = SketchParams::rows_practical(1_000_000, 0.01);
+        assert_eq!(t1 % 2, 1);
+        assert_eq!(t2 % 2, 1);
+        assert!(t2 >= t1);
+        // log2(1000/0.01) = log2(1e5) ≈ 16.6 → 17
+        assert_eq!(t1, 17);
+    }
+
+    #[test]
+    fn rows_conservative_larger_than_practical() {
+        let p = SketchParams::rows_practical(100_000, 0.05);
+        let c = SketchParams::rows_conservative(100_000, 0.05);
+        assert!(c > p);
+        assert_eq!(c % 2, 1);
+    }
+
+    #[test]
+    fn buckets_collision_term_dominates_for_small_tail() {
+        // Tiny residual: the 8k term governs.
+        let b = SketchParams::buckets_for_approx_top(100, 1.0, 1000, 0.1);
+        assert_eq!(b, 800);
+    }
+
+    #[test]
+    fn buckets_variance_term_dominates_for_heavy_tail() {
+        // residual F2 = 1e8, nk = 100, eps = 0.1 → 256e8/(10)^2... compute:
+        // 8*32*1e8/(0.1*100)^2 = 2.56e10/100 = 2.56e8; larger than 8k = 80.
+        let b = SketchParams::buckets_for_approx_top(10, 1e8, 100, 0.1);
+        assert_eq!(b, 256_000_000);
+    }
+
+    #[test]
+    fn buckets_scale_inverse_square_in_eps() {
+        let b1 = SketchParams::buckets_for_approx_top(1, 1e6, 100, 0.1);
+        let b2 = SketchParams::buckets_for_approx_top(1, 1e6, 100, 0.2);
+        let ratio = b1 as f64 / b2 as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn buckets_reject_zero_eps() {
+        SketchParams::buckets_for_approx_top(1, 1.0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_k must be positive")]
+    fn buckets_reject_zero_nk() {
+        SketchParams::buckets_for_approx_top(1, 1.0, 0, 0.1);
+    }
+
+    #[test]
+    fn for_approx_top_combines_both() {
+        let p = SketchParams::for_approx_top(10, 1e4, 50, 0.5, 100_000, 0.01);
+        assert_eq!(p.rows, SketchParams::rows_practical(100_000, 0.01));
+        assert_eq!(
+            p.buckets,
+            SketchParams::buckets_for_approx_top(10, 1e4, 50, 0.5)
+        );
+    }
+
+    #[test]
+    fn for_point_queries_dimensions() {
+        let p = SketchParams::for_point_queries(0.1, 0.01);
+        assert_eq!(p.buckets, 6400);
+        assert_eq!(p.rows, 7); // ceil(log2(100)) = 7, already odd
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1)")]
+    fn rows_reject_bad_delta() {
+        SketchParams::rows_practical(10, 1.5);
+    }
+}

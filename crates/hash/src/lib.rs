@@ -1,0 +1,55 @@
+//! Hash-function substrate for the Count-Sketch library.
+//!
+//! The analysis in Charikar, Chen & Farach-Colton ("Finding frequent items
+//! in data streams") requires, for each of the `t` rows of the sketch,
+//!
+//! * a **bucket hash** `h_i : O -> {1, ..., b}` that is pairwise
+//!   independent, and
+//! * a **sign hash** `s_i : O -> {+1, -1}` that is pairwise independent,
+//!
+//! with all `2t` functions mutually independent. The paper notes the total
+//! randomness needed is `O(t log m)` bits; concretely each of our functions
+//! stores O(1) 64-bit coefficients (O(k) for k-wise families).
+//!
+//! This crate provides several constructions:
+//!
+//! * [`pairwise::PairwiseHash`] — the classic `((a*x + b) mod p) mod b`
+//!   family over the Mersenne prime `p = 2^61 - 1` (exactly the amount of
+//!   independence the paper's lemmas consume),
+//! * [`kwise::PolynomialHash`] — degree-(k-1) polynomials over the same
+//!   field for k-wise independence (used where stronger concentration is
+//!   wanted, e.g. 4-wise sign hashes),
+//! * [`multiply_shift::MultiplyShift`] — Dietzfelbinger's strongly
+//!   universal multiply-shift scheme for power-of-two ranges (the fast
+//!   path used by the sketch hot loop),
+//! * [`tabulation::TabulationHash`] — simple tabulation hashing
+//!   (3-independent, excellent empirical behaviour),
+//! * [`sign`] — ±1 sign-hash wrappers over any of the above.
+//!
+//! All functions are deterministic given their seed, so two sketches
+//! constructed from the same [`seed::SeedSequence`] share hash functions and
+//! are therefore additive — the property §4.2 of the paper exploits for the
+//! max-change algorithm.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod independence;
+pub mod kwise;
+pub mod mix;
+pub mod multiply_shift;
+pub mod pairwise;
+pub mod prime;
+pub mod seed;
+pub mod sign;
+pub mod tabulation;
+pub mod traits;
+
+pub use kwise::PolynomialHash;
+pub use mix::ItemKey;
+pub use multiply_shift::MultiplyShift;
+pub use pairwise::PairwiseHash;
+pub use seed::SeedSequence;
+pub use sign::{FourWiseSign, PairwiseSign, Sign};
+pub use tabulation::TabulationHash;
+pub use traits::{BucketHasher, SignHasher};

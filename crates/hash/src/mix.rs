@@ -1,0 +1,141 @@
+//! Mapping arbitrary stream items to 64-bit keys.
+//!
+//! The hash families in this crate operate on `u64` keys. Streams of
+//! richer items (query strings, flow 5-tuples) are first reduced to an
+//! [`ItemKey`] by a deterministic FNV-1a + SplitMix64 finalizer over the
+//! item's `Hash` implementation. The reduction is fixed (not seeded): the
+//! sketch's per-row randomness lives entirely in the `h_i`/`s_i`
+//! coefficients, so the analysis is unaffected as long as distinct items
+//! rarely share a key (64-bit birthday bound: `m^2 / 2^64`, about `5e-9`
+//! for `m = 10^5` distinct items).
+
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// A 64-bit key identifying a stream item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemKey(pub u64);
+
+impl ItemKey {
+    /// Derives the key for any hashable item.
+    pub fn of<T: Hash + ?Sized>(item: &T) -> ItemKey {
+        let mut h = Fnv1a::new();
+        item.hash(&mut h);
+        ItemKey(finalize(h.finish()))
+    }
+
+    /// The raw 64-bit key.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for ItemKey {
+    fn from(v: u64) -> Self {
+        ItemKey(v)
+    }
+}
+
+/// SplitMix64 finalizer: a fixed bijection on u64 that destroys the
+/// structure of FNV output (FNV alone has weak low bits on short inputs).
+#[inline]
+pub fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, 64-bit. Deterministic across processes (unlike the std
+/// `DefaultHasher`, whose algorithm is unspecified).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Creates a hasher in the standard initial state.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn key_of_is_deterministic() {
+        assert_eq!(ItemKey::of("hello"), ItemKey::of("hello"));
+        assert_eq!(ItemKey::of(&42u64), ItemKey::of(&42u64));
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_keys() {
+        let keys: HashSet<ItemKey> = (0..10_000)
+            .map(|i| ItemKey::of(&format!("query-{i}")))
+            .collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xAF63_DC4C_8601_EC8C);
+        // FNV-1a("") = offset basis
+        assert_eq!(Fnv1a::new().finish(), 0xCBF2_9CE4_8422_2325);
+    }
+
+    #[test]
+    fn finalize_is_injective_on_sample() {
+        let outs: HashSet<u64> = (0..100_000u64).map(finalize).collect();
+        assert_eq!(outs.len(), 100_000, "finalizer must be a bijection");
+    }
+
+    #[test]
+    fn item_key_from_u64_is_identity() {
+        assert_eq!(ItemKey::from(7u64).raw(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_key_deterministic(s: String) {
+            prop_assert_eq!(ItemKey::of(s.as_str()), ItemKey::of(s.as_str()));
+        }
+
+        #[test]
+        fn prop_serde_roundtrip(v: u64) {
+            let k = ItemKey(v);
+            let back: ItemKey = serde_json::from_str(&serde_json::to_string(&k).unwrap()).unwrap();
+            prop_assert_eq!(k, back);
+        }
+    }
+}

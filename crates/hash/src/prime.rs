@@ -1,0 +1,187 @@
+//! Arithmetic over the Mersenne prime field `GF(p)` with `p = 2^61 - 1`.
+//!
+//! Polynomial hash families need a prime modulus larger than the key
+//! universe. `2^61 - 1` is the standard choice for 64-bit keys handled with
+//! 128-bit intermediate products: reduction modulo a Mersenne prime needs
+//! only shifts, masks and adds (no division), which keeps the per-update
+//! cost of the sketch low.
+//!
+//! Keys are canonically represented in `[0, p)`. Inputs outside that range
+//! are folded in by [`fold`] before use.
+
+/// The Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// Folds an arbitrary `u64` into the canonical range `[0, P)`.
+///
+/// Keys `>= P` (there are only 8 such values plus multiples) are reduced;
+/// this keeps the family well-defined on the full `u64` universe at the
+/// cost of mapping `x` and `x - P` to the same point for the handful of
+/// values `x >= P`. Callers that need injectivity on all 64 bits should
+/// pre-mix with [`crate::mix::finalize`] — collisions of that kind are
+/// irrelevant to the sketch guarantees, which are stated over an item
+/// universe of size `m <= P`.
+#[inline]
+pub fn fold(x: u64) -> u64 {
+    let r = (x >> 61) + (x & P);
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
+/// Adds two field elements (inputs must be `< P`).
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let s = a + b; // < 2^62, no overflow
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// Multiplies two field elements (inputs must be `< P`).
+///
+/// Uses a 128-bit product followed by Mersenne reduction: with
+/// `z = a*b = hi*2^61 + lo`, `z mod (2^61 - 1) = (hi + lo) mod (2^61 - 1)`.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let z = u128::from(a) * u128::from(b);
+    let lo = (z as u64) & P;
+    let hi = (z >> 61) as u64; // < 2^61 since a,b < 2^61
+    add(lo, fold(hi))
+}
+
+/// Computes `base^exp mod P` by square-and-multiply.
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    base = fold(base);
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in `GF(P)` via Fermat's little theorem.
+///
+/// Returns `None` for zero, which has no inverse.
+pub fn inv(a: u64) -> Option<u64> {
+    let a = fold(a);
+    if a == 0 {
+        None
+    } else {
+        Some(pow(a, P - 2))
+    }
+}
+
+/// Evaluates the polynomial `c\[0\] + c\[1\]*x + ... + c[d]*x^d` over `GF(P)`
+/// by Horner's rule. Coefficients must already be canonical (`< P`).
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let x = fold(x);
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        debug_assert!(c < P);
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_is_mersenne_61() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+        assert_eq!(P, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn fold_is_identity_below_p() {
+        for x in [0u64, 1, 12345, P - 1] {
+            assert_eq!(fold(x), x);
+        }
+    }
+
+    #[test]
+    fn fold_reduces_values_at_and_above_p() {
+        assert_eq!(fold(P), 0);
+        assert_eq!(fold(P + 1), 1);
+        assert_eq!(fold(u64::MAX), u64::MAX % P);
+        assert_eq!(fold(2 * P), 0);
+        assert_eq!(fold(2 * P + 7), 7);
+    }
+
+    #[test]
+    fn add_matches_u128_reference() {
+        let cases = [(0, 0), (1, P - 1), (P - 1, P - 1), (123, 456)];
+        for (a, b) in cases {
+            let want = ((u128::from(a) + u128::from(b)) % u128::from(P)) as u64;
+            assert_eq!(add(a, b), want, "add({a},{b})");
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (1, P - 1),
+            (P - 1, P - 1),
+            (1 << 60, 1 << 60),
+            (987_654_321, 123_456_789),
+            (P - 2, 2),
+        ];
+        for (a, b) in cases {
+            let want = ((u128::from(a) * u128::from(b)) % u128::from(P)) as u64;
+            assert_eq!(mul(a, b), want, "mul({a},{b})");
+        }
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow(2, 0), 1);
+        assert_eq!(pow(2, 10), 1024);
+        assert_eq!(pow(3, 4), 81);
+        // Fermat: a^(P-1) = 1 for a != 0.
+        assert_eq!(pow(12345, P - 1), 1);
+    }
+
+    #[test]
+    fn inv_roundtrips() {
+        for a in [1u64, 2, 7, 1 << 40, P - 1] {
+            let ai = inv(a).expect("nonzero has inverse");
+            assert_eq!(mul(a, ai), 1, "a = {a}");
+        }
+        assert_eq!(inv(0), None);
+        assert_eq!(inv(P), None, "P folds to zero");
+    }
+
+    #[test]
+    fn poly_eval_matches_naive() {
+        let coeffs = [5u64, 3, 2]; // 5 + 3x + 2x^2
+        for x in [0u64, 1, 2, 10, P - 1] {
+            let want = add(add(5, mul(3, fold(x))), mul(2, mul(fold(x), fold(x))));
+            assert_eq!(poly_eval(&coeffs, x), want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn poly_eval_empty_is_zero() {
+        assert_eq!(poly_eval(&[], 42), 0);
+    }
+
+    #[test]
+    fn poly_eval_constant() {
+        assert_eq!(poly_eval(&[17], 42), 17);
+        assert_eq!(poly_eval(&[17], 0), 17);
+    }
+}

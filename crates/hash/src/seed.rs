@@ -1,0 +1,197 @@
+//! Deterministic seed derivation.
+//!
+//! Every randomized structure in the workspace draws its coefficients from
+//! a [`SeedSequence`], a SplitMix64 stream keyed by a single `u64` master
+//! seed. This gives the reproducibility the experiments need (a sketch is a
+//! pure function of `(seed, t, b, stream)`) and the *shared hash functions*
+//! the paper's additivity argument requires: two sketches built from equal
+//! seeds and dimensions can be added or subtracted counter-by-counter.
+//!
+//! SplitMix64 is a bijective finalizer-based generator; it is not used
+//! where independence matters analytically (the hash families carry their
+//! own guarantees), only to expand one master seed into many coefficient
+//! seeds.
+
+use serde::{Deserialize, Serialize};
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (the `splitmix64` finalizer, also used by `rand` to seed
+/// other generators).
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic stream of derived seeds.
+///
+/// ```
+/// use cs_hash::SeedSequence;
+/// let mut a = SeedSequence::new(42);
+/// let mut b = SeedSequence::new(42);
+/// assert_eq!(a.next_seed(), b.next_seed());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedSequence {
+    state: u64,
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a master seed.
+    pub fn new(master: u64) -> Self {
+        Self {
+            // Pre-mix so that adjacent master seeds produce unrelated streams.
+            state: master ^ 0xA076_1D64_78BD_642F,
+            master,
+        }
+    }
+
+    /// The master seed this sequence was created from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Returns the next derived seed.
+    #[inline]
+    pub fn next_seed(&mut self) -> u64 {
+        split_mix64(&mut self.state)
+    }
+
+    /// Returns the next derived seed folded into `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-high reduction; the modulo bias is at most
+    /// `bound / 2^64`, negligible for the coefficient ranges used here.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_seed()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns the next derived seed in `[1, bound)` (never zero).
+    ///
+    /// Used for leading polynomial coefficients, which must be nonzero for
+    /// the family to be pairwise independent rather than merely universal.
+    #[inline]
+    pub fn next_nonzero_below(&mut self, bound: u64) -> u64 {
+        assert!(
+            bound > 1,
+            "need at least two residues to pick a nonzero one"
+        );
+        loop {
+            let v = self.next_below(bound);
+            if v != 0 {
+                return v;
+            }
+        }
+    }
+
+    /// Derives an independent child sequence (for giving each sketch row
+    /// its own labelled stream without coupling row counts across layers).
+    pub fn child(&mut self, label: u64) -> SeedSequence {
+        let mut s = self.next_seed() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let derived = split_mix64(&mut s);
+        SeedSequence::new(derived)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_for_equal_master() {
+        let mut a = SeedSequence::new(7);
+        let mut b = SeedSequence::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn different_masters_diverge() {
+        let mut a = SeedSequence::new(7);
+        let mut b = SeedSequence::new(8);
+        let same = (0..100).filter(|_| a.next_seed() == b.next_seed()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut s = SeedSequence::new(123);
+        for bound in [1u64, 2, 3, 10, 1000, 1 << 40] {
+            for _ in 0..50 {
+                assert!(s.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_one_is_always_zero() {
+        let mut s = SeedSequence::new(5);
+        for _ in 0..10 {
+            assert_eq!(s.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn next_nonzero_below_never_zero() {
+        let mut s = SeedSequence::new(99);
+        for _ in 0..1000 {
+            let v = s.next_nonzero_below(2);
+            assert_eq!(v, 1, "only nonzero residue below 2");
+        }
+        for _ in 0..1000 {
+            assert_ne!(s.next_nonzero_below(1000), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_bound_panics() {
+        SeedSequence::new(0).next_below(0);
+    }
+
+    #[test]
+    fn stream_has_no_short_cycles() {
+        let mut s = SeedSequence::new(1);
+        let vals: HashSet<u64> = (0..10_000).map(|_| s.next_seed()).collect();
+        assert_eq!(vals.len(), 10_000, "10k outputs should be distinct");
+    }
+
+    #[test]
+    fn children_are_independent_of_sibling_order() {
+        // Drawing child(0) then child(1) must give the same child(0) stream
+        // as drawing only child(0): children consume exactly one draw each.
+        let mut p1 = SeedSequence::new(42);
+        let c0_first = p1.child(0);
+        let mut p2 = SeedSequence::new(42);
+        let c0_again = p2.child(0);
+        assert_eq!(c0_first, c0_again);
+        let c1 = p1.child(1);
+        assert_ne!(c0_first, c1);
+    }
+
+    #[test]
+    fn split_mix_known_vector() {
+        // First output for state 0, from the reference implementation.
+        let mut state = 0u64;
+        assert_eq!(split_mix64(&mut state), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = SeedSequence::new(314);
+        s.next_seed();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: SeedSequence = serde_json::from_str(&json).unwrap();
+        let mut orig = s.clone();
+        assert_eq!(orig.next_seed(), back.next_seed());
+    }
+}

@@ -1,0 +1,105 @@
+//! Core traits implemented by every hash family in this crate.
+//!
+//! The sketch is generic over these traits so the experiments can swap
+//! constructions (polynomial vs multiply-shift vs tabulation) without
+//! touching the sketch code — the "strategy" pattern.
+
+/// A hash function from 64-bit keys to bucket indices `[0, num_buckets)`.
+///
+/// Implementations must be *pure*: equal keys always map to equal buckets
+/// for the lifetime of the value. The Count-Sketch analysis additionally
+/// requires the family the function was drawn from to be pairwise
+/// independent; every implementation in this crate documents its
+/// independence level.
+pub trait BucketHasher {
+    /// Maps a key to a bucket in `[0, self.num_buckets())`.
+    fn bucket(&self, key: u64) -> usize;
+
+    /// The size of the range this hasher maps into.
+    fn num_buckets(&self) -> usize;
+
+    /// Heap + inline memory used by this function's description, in bytes.
+    ///
+    /// The paper accounts `O(log m)` random bits per function; this method
+    /// lets the space experiments charge the real cost.
+    fn space_bytes(&self) -> usize;
+}
+
+/// A hash function from 64-bit keys to signs `{+1, -1}`.
+///
+/// Pairwise independence of the sign hash is what makes each row estimate
+/// `C[i][h_i(q)] * s_i(q)` unbiased (paper §3.1): cross terms
+/// `E[s_i(q) s_i(q')]` vanish for `q != q'`.
+pub trait SignHasher {
+    /// Returns `+1` or `-1` for the key.
+    fn sign(&self, key: u64) -> i64;
+
+    /// Heap + inline memory used by this function's description, in bytes.
+    fn space_bytes(&self) -> usize;
+}
+
+impl<T: BucketHasher + ?Sized> BucketHasher for Box<T> {
+    fn bucket(&self, key: u64) -> usize {
+        (**self).bucket(key)
+    }
+    fn num_buckets(&self) -> usize {
+        (**self).num_buckets()
+    }
+    fn space_bytes(&self) -> usize {
+        (**self).space_bytes()
+    }
+}
+
+impl<T: SignHasher + ?Sized> SignHasher for Box<T> {
+    fn sign(&self, key: u64) -> i64 {
+        (**self).sign(key)
+    }
+    fn space_bytes(&self) -> usize {
+        (**self).space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl BucketHasher for Fixed {
+        fn bucket(&self, key: u64) -> usize {
+            (key % 3) as usize
+        }
+        fn num_buckets(&self) -> usize {
+            3
+        }
+        fn space_bytes(&self) -> usize {
+            0
+        }
+    }
+    impl SignHasher for Fixed {
+        fn sign(&self, key: u64) -> i64 {
+            if key & 1 == 0 {
+                1
+            } else {
+                -1
+            }
+        }
+        fn space_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn boxed_bucket_hasher_delegates() {
+        let b: Box<dyn BucketHasher> = Box::new(Fixed);
+        assert_eq!(b.bucket(7), 1);
+        assert_eq!(b.num_buckets(), 3);
+        assert_eq!(b.space_bytes(), 0);
+    }
+
+    #[test]
+    fn boxed_sign_hasher_delegates() {
+        let b: Box<dyn SignHasher> = Box::new(Fixed);
+        assert_eq!(b.sign(2), 1);
+        assert_eq!(b.sign(3), -1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Estimate-error metrics against exact ground truth.
+
+use cs_hash::ItemKey;
+use cs_stream::ExactCounter;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate error of a set of `(item, estimate)` pairs versus truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ErrorReport {
+    /// Number of items measured.
+    pub count: usize,
+    /// Maximum absolute error `|est - n_q|`.
+    pub max_abs: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Mean relative error `|est - n_q| / n_q` (items with `n_q = 0` are
+    /// measured against 1 to stay finite).
+    pub mean_rel: f64,
+    /// Maximum relative error.
+    pub max_rel: f64,
+}
+
+impl ErrorReport {
+    /// Measures signed estimates (Count-Sketch style) against truth.
+    pub fn measure(estimates: &[(ItemKey, i64)], exact: &ExactCounter) -> Self {
+        let mut report = ErrorReport {
+            count: estimates.len(),
+            ..Default::default()
+        };
+        if estimates.is_empty() {
+            return report;
+        }
+        let mut sum_abs = 0.0;
+        let mut sum_rel = 0.0;
+        for &(key, est) in estimates {
+            let truth = exact.count(key) as f64;
+            let abs = (est as f64 - truth).abs();
+            let rel = abs / truth.max(1.0);
+            sum_abs += abs;
+            sum_rel += rel;
+            report.max_abs = report.max_abs.max(abs);
+            report.max_rel = report.max_rel.max(rel);
+        }
+        report.mean_abs = sum_abs / estimates.len() as f64;
+        report.mean_rel = sum_rel / estimates.len() as f64;
+        report
+    }
+
+    /// Measures unsigned estimates (baseline style) against truth.
+    pub fn measure_unsigned(estimates: &[(ItemKey, u64)], exact: &ExactCounter) -> Self {
+        let signed: Vec<(ItemKey, i64)> = estimates
+            .iter()
+            .map(|&(k, v)| (k, v.min(i64::MAX as u64) as i64))
+            .collect();
+        Self::measure(&signed, exact)
+    }
+
+    /// The fraction of measured items whose absolute error exceeds
+    /// `bound` — used to verify the `8γ` tail bound of Lemma 4.
+    pub fn fraction_exceeding(
+        estimates: &[(ItemKey, i64)],
+        exact: &ExactCounter,
+        bound: f64,
+    ) -> f64 {
+        if estimates.is_empty() {
+            return 0.0;
+        }
+        let over = estimates
+            .iter()
+            .filter(|&&(key, est)| {
+                let truth = exact.count(key) as f64;
+                (est as f64 - truth).abs() > bound
+            })
+            .count();
+        over as f64 / estimates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::Stream;
+
+    fn exact(ids: &[u64]) -> ExactCounter {
+        ExactCounter::from_stream(&Stream::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn exact_estimates_zero_error() {
+        let e = exact(&[1, 1, 2]);
+        let r = ErrorReport::measure(&[(ItemKey(1), 2), (ItemKey(2), 1)], &e);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.mean_abs, 0.0);
+        assert_eq!(r.mean_rel, 0.0);
+    }
+
+    #[test]
+    fn absolute_and_relative_errors() {
+        let e = exact(&[1, 1, 1, 1, 2, 2]); // counts 4, 2
+        let r = ErrorReport::measure(&[(ItemKey(1), 6), (ItemKey(2), 1)], &e);
+        // errors: |6-4| = 2 (rel 0.5), |1-2| = 1 (rel 0.5)
+        assert_eq!(r.max_abs, 2.0);
+        assert_eq!(r.mean_abs, 1.5);
+        assert!((r.mean_rel - 0.5).abs() < 1e-12);
+        assert!((r.max_rel - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_item_measured_against_zero() {
+        let e = exact(&[1]);
+        let r = ErrorReport::measure(&[(ItemKey(9), 5)], &e);
+        assert_eq!(r.max_abs, 5.0);
+        assert_eq!(r.max_rel, 5.0); // divisor clamped to 1
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = ErrorReport::measure(&[], &ExactCounter::new());
+        assert_eq!(r.count, 0);
+        assert_eq!(r.max_abs, 0.0);
+    }
+
+    #[test]
+    fn negative_estimates_counted_as_error() {
+        let e = exact(&[1, 1]);
+        let r = ErrorReport::measure(&[(ItemKey(1), -2)], &e);
+        assert_eq!(r.max_abs, 4.0);
+    }
+
+    #[test]
+    fn unsigned_measure_matches_signed() {
+        let e = exact(&[1, 1, 2]);
+        let signed = ErrorReport::measure(&[(ItemKey(1), 3)], &e);
+        let unsigned = ErrorReport::measure_unsigned(&[(ItemKey(1), 3u64)], &e);
+        assert_eq!(signed, unsigned);
+    }
+
+    #[test]
+    fn fraction_exceeding_counts_tail() {
+        let e = exact(&[1, 1, 1, 2]); // counts 3, 1
+        let ests = [(ItemKey(1), 10), (ItemKey(2), 1)];
+        assert_eq!(ErrorReport::fraction_exceeding(&ests, &e, 5.0), 0.5);
+        assert_eq!(ErrorReport::fraction_exceeding(&ests, &e, 100.0), 0.0);
+        assert_eq!(ErrorReport::fraction_exceeding(&[], &e, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Machine-readable experiment records.
+//!
+//! Each harness experiment emits one [`ExperimentRecord`] per measured
+//! configuration as a JSON line, so EXPERIMENTS.md numbers can be
+//! regenerated and post-processed without re-parsing ASCII tables.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One measured data point of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"table1"` or `"error_vs_b"`.
+    pub experiment: String,
+    /// Algorithm under measurement, e.g. `"count-sketch"`.
+    pub algorithm: String,
+    /// Input parameters (z, n, m, k, b, t, eps, ...).
+    pub params: BTreeMap<String, f64>,
+    /// Measured outputs (space, recall, error, ...).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl ExperimentRecord {
+    /// Starts a record.
+    pub fn new(experiment: impl Into<String>, algorithm: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            algorithm: algorithm.into(),
+            params: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an input parameter.
+    pub fn param(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    /// Adds a measured metric.
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.insert(name.into(), value);
+        self
+    }
+
+    /// Serializes to one JSON line.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("record is always serializable")
+    }
+
+    /// Parses a JSON line back.
+    pub fn from_json_line(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_fields() {
+        let r = ExperimentRecord::new("table1", "count-sketch")
+            .param("z", 1.0)
+            .param("k", 100.0)
+            .metric("space_bytes", 4096.0);
+        assert_eq!(r.experiment, "table1");
+        assert_eq!(r.params["z"], 1.0);
+        assert_eq!(r.metrics["space_bytes"], 4096.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = ExperimentRecord::new("e", "a")
+            .param("x", 2.5)
+            .metric("y", -1.0);
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = ExperimentRecord::from_json_line(&line).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn bad_json_is_error() {
+        assert!(ExperimentRecord::from_json_line("{not json").is_err());
+    }
+
+    #[test]
+    fn params_are_sorted_deterministically() {
+        let r = ExperimentRecord::new("e", "a")
+            .param("b", 1.0)
+            .param("a", 2.0);
+        let line = r.to_json_line();
+        let a_pos = line.find("\"a\"").unwrap();
+        let b_pos = line.find("\"b\"").unwrap();
+        assert!(a_pos < b_pos, "BTreeMap keys serialize sorted");
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation metrics, theoretical space formulas and report output for
+//! the Count-Sketch experiments.
+//!
+//! * [`recall`] — set-overlap metrics (recall/precision@k) and the two
+//!   APPROXTOP validity checks from Lemma 5,
+//! * [`error`] — estimate-error metrics (max/mean absolute and relative
+//!   error against exact counts, observed-vs-`8γ`),
+//! * [`theory`] — the closed-form space expressions from Table 1 for
+//!   SAMPLING, KPS and the Count-Sketch on Zipfian inputs,
+//! * [`stats`] — small summary-statistics helpers (mean/median/quantiles),
+//! * [`table`] — fixed-width ASCII table rendering for harness output,
+//! * [`experiment`] — machine-readable experiment records (JSON lines).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod experiment;
+pub mod recall;
+pub mod report;
+pub mod stats;
+pub mod table;
+pub mod theory;
+
+pub use error::ErrorReport;
+pub use recall::{precision_at_k, recall_at_k, ApproxTopValidity};
+pub use table::Table;

@@ -1,0 +1,167 @@
+//! Set-overlap metrics and the Lemma 5 validity checks.
+
+use cs_hash::ItemKey;
+use cs_stream::ExactCounter;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Fraction of the true top-`k` present in `reported`.
+///
+/// If fewer than `k` distinct items exist, the divisor is the number that
+/// do. Returns 1.0 for an empty truth set (vacuous success).
+pub fn recall_at_k(reported: &[ItemKey], exact: &ExactCounter, k: usize) -> f64 {
+    let truth: HashSet<ItemKey> = exact.top_k(k).into_iter().map(|(key, _)| key).collect();
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let got: HashSet<ItemKey> = reported.iter().copied().collect();
+    truth.intersection(&got).count() as f64 / truth.len() as f64
+}
+
+/// Fraction of `reported` that belongs to the true top-`k`.
+/// Returns 1.0 for an empty report (vacuous success).
+pub fn precision_at_k(reported: &[ItemKey], exact: &ExactCounter, k: usize) -> f64 {
+    if reported.is_empty() {
+        return 1.0;
+    }
+    let truth: HashSet<ItemKey> = exact.top_k(k).into_iter().map(|(key, _)| key).collect();
+    reported.iter().filter(|key| truth.contains(key)).count() as f64 / reported.len() as f64
+}
+
+/// The two Lemma 5 guarantees, checked exactly against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproxTopValidity {
+    /// Every reported item has `n_q ≥ (1-ε)·n_k`.
+    pub all_reported_heavy: bool,
+    /// Every item with `n_q ≥ (1+ε)·n_k` is reported (the paper's
+    /// "stronger guarantee").
+    pub all_heavy_reported: bool,
+    /// Number of reported items violating the first guarantee.
+    pub light_reported: usize,
+    /// Number of `(1+ε)`-heavy items missing from the report.
+    pub heavy_missing: usize,
+}
+
+impl ApproxTopValidity {
+    /// Checks both guarantees of APPROXTOP(S, k, ε) for a reported list.
+    pub fn check(reported: &[ItemKey], exact: &ExactCounter, k: usize, eps: f64) -> Self {
+        let nk = exact.nk(k) as f64;
+        let floor = (1.0 - eps) * nk;
+        let ceil = (1.0 + eps) * nk;
+        let reported_set: HashSet<ItemKey> = reported.iter().copied().collect();
+
+        let light_reported = reported
+            .iter()
+            .filter(|&&key| (exact.count(key) as f64) < floor)
+            .count();
+        let heavy_missing = exact
+            .counts()
+            .iter()
+            .filter(|(key, &count)| count as f64 >= ceil && !reported_set.contains(key))
+            .count();
+
+        Self {
+            all_reported_heavy: light_reported == 0,
+            all_heavy_reported: heavy_missing == 0,
+            light_reported,
+            heavy_missing,
+        }
+    }
+
+    /// Both guarantees hold.
+    pub fn valid(&self) -> bool {
+        self.all_reported_heavy && self.all_heavy_reported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_stream::Stream;
+
+    fn exact(ids: &[u64]) -> ExactCounter {
+        ExactCounter::from_stream(&Stream::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn recall_basics() {
+        // counts: 3→3, 2→2, 1→1
+        let e = exact(&[3, 3, 3, 2, 2, 1]);
+        assert_eq!(recall_at_k(&[ItemKey(3), ItemKey(2)], &e, 2), 1.0);
+        assert_eq!(recall_at_k(&[ItemKey(3)], &e, 2), 0.5);
+        assert_eq!(recall_at_k(&[], &e, 2), 0.0);
+        assert_eq!(recall_at_k(&[ItemKey(9)], &e, 2), 0.0);
+    }
+
+    #[test]
+    fn recall_with_fewer_items_than_k() {
+        let e = exact(&[1, 2]);
+        // Only 2 distinct items; reporting both gives recall 1 at k=5.
+        assert_eq!(recall_at_k(&[ItemKey(1), ItemKey(2)], &e, 5), 1.0);
+    }
+
+    #[test]
+    fn recall_empty_truth_is_vacuous() {
+        let e = ExactCounter::new();
+        assert_eq!(recall_at_k(&[ItemKey(1)], &e, 3), 1.0);
+    }
+
+    #[test]
+    fn precision_basics() {
+        let e = exact(&[3, 3, 3, 2, 2, 1]);
+        assert_eq!(precision_at_k(&[ItemKey(3), ItemKey(9)], &e, 2), 0.5);
+        assert_eq!(precision_at_k(&[], &e, 2), 1.0);
+        assert_eq!(precision_at_k(&[ItemKey(3), ItemKey(2)], &e, 2), 1.0);
+    }
+
+    #[test]
+    fn validity_all_good() {
+        // counts: 1→10, 2→9, 3→1; k=2, eps=0.5: floor = 4.5, ceil = 13.5.
+        let mut ids = vec![1u64; 10];
+        ids.extend(vec![2u64; 9]);
+        ids.push(3);
+        let e = exact(&ids);
+        let v = ApproxTopValidity::check(&[ItemKey(1), ItemKey(2)], &e, 2, 0.5);
+        assert!(v.valid());
+        assert_eq!(v.light_reported, 0);
+        assert_eq!(v.heavy_missing, 0);
+    }
+
+    #[test]
+    fn validity_detects_light_reported() {
+        let mut ids = vec![1u64; 10];
+        ids.extend(vec![2u64; 9]);
+        ids.push(3); // count 1 < floor 4.5
+        let e = exact(&ids);
+        let v = ApproxTopValidity::check(&[ItemKey(1), ItemKey(3)], &e, 2, 0.5);
+        assert!(!v.all_reported_heavy);
+        assert_eq!(v.light_reported, 1);
+    }
+
+    #[test]
+    fn validity_detects_heavy_missing() {
+        // counts: 1→20, 2→9, 3→9; k=2 → n_k=9, eps=0.5 → ceil=13.5.
+        // Item 1 (20 ≥ 13.5) must be reported.
+        let mut ids = vec![1u64; 20];
+        ids.extend(vec![2u64; 9]);
+        ids.extend(vec![3u64; 9]);
+        let e = exact(&ids);
+        let v = ApproxTopValidity::check(&[ItemKey(2), ItemKey(3)], &e, 2, 0.5);
+        assert!(!v.all_heavy_reported);
+        assert_eq!(v.heavy_missing, 1);
+        // Reported items are both exactly n_k ≥ floor, so first guarantee
+        // holds.
+        assert!(v.all_reported_heavy);
+    }
+
+    #[test]
+    fn validity_boundary_items_allowed() {
+        // An item with exactly (1-ε)n_k may be reported: guarantee is ≥.
+        let mut ids = vec![1u64; 10]; // n_1 = 10
+        ids.extend(vec![2u64; 10]); // n_2 = 10 → n_k = 10 (k=2)
+        ids.extend(vec![3u64; 5]); // exactly floor at eps=0.5
+        let e = exact(&ids);
+        let v = ApproxTopValidity::check(&[ItemKey(1), ItemKey(3)], &e, 2, 0.5);
+        assert!(v.all_reported_heavy, "boundary item is allowed");
+    }
+}

@@ -1,0 +1,172 @@
+//! Aggregating experiment records into rendered reports.
+//!
+//! The harness appends one JSON line per measured data point
+//! ([`crate::experiment::ExperimentRecord`]); this module reads such a
+//! file back and renders one table per experiment, with the union of
+//! parameter and metric columns — so EXPERIMENTS.md tables can be
+//! regenerated from raw records without re-running anything
+//! (`harness report --records results/records.jsonl`).
+
+use crate::experiment::ExperimentRecord;
+use crate::table::{fmt_num, Table};
+use std::collections::BTreeMap;
+
+/// Parses a JSON-lines string into records, skipping blank lines.
+/// Returns the records and the number of malformed lines skipped.
+pub fn parse_records(jsonl: &str) -> (Vec<ExperimentRecord>, usize) {
+    let mut records = Vec::new();
+    let mut bad = 0;
+    for line in jsonl.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match ExperimentRecord::from_json_line(line) {
+            Ok(r) => records.push(r),
+            Err(_) => bad += 1,
+        }
+    }
+    (records, bad)
+}
+
+/// Groups records by experiment name (sorted).
+pub fn group_by_experiment(
+    records: Vec<ExperimentRecord>,
+) -> BTreeMap<String, Vec<ExperimentRecord>> {
+    let mut groups: BTreeMap<String, Vec<ExperimentRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry(r.experiment.clone()).or_default().push(r);
+    }
+    groups
+}
+
+/// Renders one table for a group of same-experiment records: columns are
+/// `algorithm`, then the union of parameter names, then the union of
+/// metric names; one row per record, in input order. Missing cells show
+/// `—`.
+pub fn render_experiment(name: &str, records: &[ExperimentRecord]) -> Table {
+    let mut param_names: Vec<String> = Vec::new();
+    let mut metric_names: Vec<String> = Vec::new();
+    for r in records {
+        for k in r.params.keys() {
+            if !param_names.contains(k) {
+                param_names.push(k.clone());
+            }
+        }
+        for k in r.metrics.keys() {
+            if !metric_names.contains(k) {
+                metric_names.push(k.clone());
+            }
+        }
+    }
+    let mut header: Vec<&str> = vec!["algorithm"];
+    header.extend(param_names.iter().map(String::as_str));
+    header.extend(metric_names.iter().map(String::as_str));
+    let mut table = Table::new(format!("{name} ({} records)", records.len()), &header);
+    for r in records {
+        let mut row = vec![r.algorithm.clone()];
+        for p in &param_names {
+            row.push(r.params.get(p).map(|&v| fmt_num(v)).unwrap_or("—".into()));
+        }
+        for m in &metric_names {
+            row.push(r.metrics.get(m).map(|&v| fmt_num(v)).unwrap_or("—".into()));
+        }
+        table.row(&row);
+    }
+    table
+}
+
+/// Full pipeline: JSONL → rendered report.
+pub fn render_report(jsonl: &str) -> String {
+    let (records, bad) = parse_records(jsonl);
+    let groups = group_by_experiment(records);
+    let mut out = String::new();
+    if bad > 0 {
+        out.push_str(&format!("({bad} malformed lines skipped)\n\n"));
+    }
+    for (name, records) in &groups {
+        out.push_str(&render_experiment(name, records).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(exp: &str, alg: &str, p: f64, m: f64) -> ExperimentRecord {
+        ExperimentRecord::new(exp, alg)
+            .param("z", p)
+            .metric("space", m)
+    }
+
+    fn jsonl(records: &[ExperimentRecord]) -> String {
+        records
+            .iter()
+            .map(|r| r.to_json_line())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let input = jsonl(&[record("e1", "a", 1.0, 2.0), record("e2", "b", 3.0, 4.0)]);
+        let (records, bad) = parse_records(&input);
+        assert_eq!(records.len(), 2);
+        assert_eq!(bad, 0);
+    }
+
+    #[test]
+    fn malformed_lines_counted_not_fatal() {
+        let input = format!(
+            "{}\nnot json\n\n{}",
+            record("e", "a", 1.0, 2.0).to_json_line(),
+            record("e", "b", 3.0, 4.0).to_json_line()
+        );
+        let (records, bad) = parse_records(&input);
+        assert_eq!(records.len(), 2);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn grouping_by_experiment_sorted() {
+        let (records, _) = parse_records(&jsonl(&[
+            record("zeta", "a", 1.0, 1.0),
+            record("alpha", "b", 2.0, 2.0),
+            record("zeta", "c", 3.0, 3.0),
+        ]));
+        let groups = group_by_experiment(records);
+        let names: Vec<&String> = groups.keys().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(groups["zeta"].len(), 2);
+    }
+
+    #[test]
+    fn render_handles_heterogeneous_columns() {
+        let r1 = ExperimentRecord::new("e", "a")
+            .param("x", 1.0)
+            .metric("m1", 2.0);
+        let r2 = ExperimentRecord::new("e", "b")
+            .param("y", 3.0)
+            .metric("m2", 4.0);
+        let table = render_experiment("e", &[r1, r2]);
+        let s = table.render();
+        assert!(s.contains("x") && s.contains("y"));
+        assert!(s.contains("m1") && s.contains("m2"));
+        assert!(s.contains("—"), "missing cells shown as dashes");
+    }
+
+    #[test]
+    fn full_report_renders_all_groups() {
+        let input = jsonl(&[record("e1", "a", 1.0, 2.0), record("e2", "b", 3.0, 4.0)]);
+        let report = render_report(&input);
+        assert!(report.contains("e1 (1 records)"));
+        assert!(report.contains("e2 (1 records)"));
+    }
+
+    #[test]
+    fn empty_input_empty_report() {
+        assert_eq!(render_report(""), "");
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-width ASCII table rendering for harness output.
+//!
+//! The harness prints tables that mirror the paper's Table 1 layout; this
+//! is a minimal right-aligned renderer (no external dependency).
+
+/// A simple ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a float compactly: integers show as integers, large values in
+/// scientific form, the rest with 3 significant decimals.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1e7 {
+        format!("{v:.2e}")
+    } else if (v.round() - v).abs() < 1e-9 && a < 1e7 {
+        format!("{}", v.round() as i64)
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["alg", "space"]);
+        t.row(&["cs".into(), "100".into()]);
+        t.row(&["sampling".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // All body lines equal width.
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("", &["x"]);
+        assert!(t.is_empty());
+        t.row(&["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_title_omitted() {
+        let t = Table::new("", &["x"]);
+        assert!(!t.render().contains("##"));
+    }
+
+    #[test]
+    fn fmt_num_cases() {
+        assert_eq!(fmt_num(5.0), "5");
+        assert_eq!(fmt_num(1234.0), "1234");
+        assert_eq!(fmt_num(0.5), "0.500");
+        assert_eq!(fmt_num(123.45), "123.5");
+        assert_eq!(fmt_num(1e9), "1.00e9");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,226 @@
+//! Paired streams with planted frequency changes (§4.2 workloads).
+//!
+//! The max-change problem takes two streams `S1, S2` and asks for the
+//! items maximizing `|n_q^{S2} - n_q^{S1}|`. The paper motivates this with
+//! consecutive time windows of a search-engine query stream (the
+//! "zeitgeist" application). This module builds such pairs: a shared
+//! Zipfian background plus planted *trending* items (frequency rises in
+//! `S2`) and *vanishing* items (frequency drops), so the true max-change
+//! set is known by construction via [`crate::ExactCounter::top_k_change`].
+
+use crate::item::Stream;
+use crate::zipf::{Zipf, ZipfStreamKind};
+use cs_hash::ItemKey;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one planted change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeSpec {
+    /// The item to plant (use ids >= the background universe size to
+    /// keep planted items disjoint from the background, or reuse a
+    /// background id to plant a change on an existing item).
+    pub item: u64,
+    /// Occurrences in `S1`.
+    pub count_s1: u64,
+    /// Occurrences in `S2`.
+    pub count_s2: u64,
+}
+
+impl ChangeSpec {
+    /// The signed change this spec plants.
+    pub fn delta(&self) -> i64 {
+        self.count_s2 as i64 - self.count_s1 as i64
+    }
+}
+
+/// A pair of streams sharing a background distribution, with planted
+/// changes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamPair {
+    /// The first (earlier) stream.
+    pub s1: Stream,
+    /// The second (later) stream.
+    pub s2: Stream,
+    /// The changes that were planted.
+    pub planted: Vec<ChangeSpec>,
+}
+
+impl StreamPair {
+    /// Builds a pair: Zipf(`m`, `z`) background of `n` occurrences in each
+    /// stream (independently sampled, so background items have small
+    /// random changes), plus the planted changes.
+    ///
+    /// Planted item ids are the caller's responsibility; ids `>= m` are
+    /// guaranteed disjoint from the background.
+    pub fn zipf_background(
+        m: usize,
+        z: f64,
+        n: usize,
+        planted: Vec<ChangeSpec>,
+        seed: u64,
+    ) -> Self {
+        let zipf = Zipf::new(m, z);
+        let mut s1 = zipf.stream(n, seed, ZipfStreamKind::Sampled);
+        let mut s2 = zipf.stream(n, seed.wrapping_add(1), ZipfStreamKind::Sampled);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(2));
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(3));
+        let mut extra1: Vec<ItemKey> = Vec::new();
+        let mut extra2: Vec<ItemKey> = Vec::new();
+        for spec in &planted {
+            extra1.extend(std::iter::repeat_n(
+                ItemKey(spec.item),
+                spec.count_s1 as usize,
+            ));
+            extra2.extend(std::iter::repeat_n(
+                ItemKey(spec.item),
+                spec.count_s2 as usize,
+            ));
+        }
+        // Splice planted occurrences into random positions.
+        let mut v1: Vec<ItemKey> = s1.iter().collect();
+        v1.append(&mut extra1);
+        v1.shuffle(&mut rng1);
+        s1 = Stream::from_keys(v1);
+        let mut v2: Vec<ItemKey> = s2.iter().collect();
+        v2.append(&mut extra2);
+        v2.shuffle(&mut rng2);
+        s2 = Stream::from_keys(v2);
+        Self { s1, s2, planted }
+    }
+
+    /// The planted changes ordered by |delta| descending (tie: smaller id
+    /// first) — the expected answer to the max-change query when planted
+    /// deltas dominate background noise.
+    pub fn planted_by_magnitude(&self) -> Vec<ChangeSpec> {
+        let mut v = self.planted.clone();
+        v.sort_by(|a, b| {
+            b.delta()
+                .unsigned_abs()
+                .cmp(&a.delta().unsigned_abs())
+                .then(a.item.cmp(&b.item))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+
+    #[test]
+    fn planted_counts_are_exact() {
+        let planted = vec![
+            ChangeSpec {
+                item: 1000,
+                count_s1: 0,
+                count_s2: 500,
+            },
+            ChangeSpec {
+                item: 1001,
+                count_s1: 300,
+                count_s2: 10,
+            },
+        ];
+        let pair = StreamPair::zipf_background(100, 1.0, 10_000, planted.clone(), 7);
+        let e1 = ExactCounter::from_stream(&pair.s1);
+        let e2 = ExactCounter::from_stream(&pair.s2);
+        assert_eq!(e1.count(ItemKey(1000)), 0);
+        assert_eq!(e2.count(ItemKey(1000)), 500);
+        assert_eq!(e1.count(ItemKey(1001)), 300);
+        assert_eq!(e2.count(ItemKey(1001)), 10);
+    }
+
+    #[test]
+    fn stream_lengths_include_planted() {
+        let planted = vec![ChangeSpec {
+            item: 99,
+            count_s1: 5,
+            count_s2: 20,
+        }];
+        let pair = StreamPair::zipf_background(10, 1.0, 1000, planted, 1);
+        assert_eq!(pair.s1.len(), 1005);
+        assert_eq!(pair.s2.len(), 1020);
+    }
+
+    #[test]
+    fn delta_sign_convention() {
+        let up = ChangeSpec {
+            item: 0,
+            count_s1: 10,
+            count_s2: 25,
+        };
+        assert_eq!(up.delta(), 15);
+        let down = ChangeSpec {
+            item: 0,
+            count_s1: 25,
+            count_s2: 10,
+        };
+        assert_eq!(down.delta(), -15);
+    }
+
+    #[test]
+    fn planted_by_magnitude_orders_by_abs_delta() {
+        let pair = StreamPair {
+            s1: Stream::new(),
+            s2: Stream::new(),
+            planted: vec![
+                ChangeSpec {
+                    item: 1,
+                    count_s1: 0,
+                    count_s2: 10,
+                },
+                ChangeSpec {
+                    item: 2,
+                    count_s1: 50,
+                    count_s2: 0,
+                },
+                ChangeSpec {
+                    item: 3,
+                    count_s1: 0,
+                    count_s2: 30,
+                },
+            ],
+        };
+        let order: Vec<u64> = pair.planted_by_magnitude().iter().map(|c| c.item).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn exact_top_change_finds_planted_items() {
+        let planted = vec![
+            ChangeSpec {
+                item: 5000,
+                count_s1: 0,
+                count_s2: 2000,
+            },
+            ChangeSpec {
+                item: 5001,
+                count_s1: 1500,
+                count_s2: 0,
+            },
+        ];
+        let pair = StreamPair::zipf_background(100, 1.0, 10_000, planted, 3);
+        let e1 = ExactCounter::from_stream(&pair.s1);
+        let e2 = ExactCounter::from_stream(&pair.s2);
+        let top = ExactCounter::top_k_change(&e1, &e2, 2);
+        let ids: Vec<u64> = top.iter().map(|(k, _)| k.raw()).collect();
+        assert_eq!(ids, vec![5000, 5001]);
+        assert_eq!(top[0].1, 2000);
+        assert_eq!(top[1].1, -1500);
+    }
+
+    #[test]
+    fn pair_generation_is_deterministic() {
+        let planted = vec![ChangeSpec {
+            item: 200,
+            count_s1: 1,
+            count_s2: 9,
+        }];
+        let a = StreamPair::zipf_background(50, 0.8, 500, planted.clone(), 11);
+        let b = StreamPair::zipf_background(50, 0.8, 500, planted, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! The exact-count oracle.
+//!
+//! Every experiment measures a streaming algorithm against exact ground
+//! truth: true counts `n_q`, the true top-`k` set, and the rank order
+//! `n_1 >= n_2 >= ...` from §1. This is the memory-intensive baseline the
+//! paper's introduction rules out for real streams ("keeping a counter for
+//! each distinct element \[is\] infeasible") — here it is affordable because
+//! experiment streams fit in memory.
+
+use crate::item::Stream;
+use cs_hash::ItemKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Exact per-item counts for a stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactCounter {
+    counts: HashMap<ItemKey, u64>,
+    total: u64,
+}
+
+impl ExactCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a whole stream.
+    pub fn from_stream(stream: &Stream) -> Self {
+        let mut c = Self::new();
+        for key in stream.iter() {
+            c.add(key);
+        }
+        c
+    }
+
+    /// Records one occurrence.
+    pub fn add(&mut self, key: ItemKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// The exact count `n_q` of an item (0 if never seen).
+    pub fn count(&self, key: ItemKey) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The stream length `n`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The number of distinct items `m` seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw count map.
+    pub fn counts(&self) -> &HashMap<ItemKey, u64> {
+        &self.counts
+    }
+
+    /// All counts in non-increasing order: `n_1 >= n_2 >= ... >= n_m`.
+    pub fn sorted_counts(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// The true top-`k` items as `(key, count)`, counts non-increasing.
+    /// Ties are broken by key for determinism. If fewer than `k` distinct
+    /// items exist, all of them are returned.
+    pub fn top_k(&self, k: usize) -> Vec<(ItemKey, u64)> {
+        let mut v: Vec<(ItemKey, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The count `n_k` of the `k`-th most frequent item (1-based `k`).
+    /// Returns 0 if fewer than `k` distinct items exist.
+    pub fn nk(&self, k: usize) -> u64 {
+        assert!(k >= 1, "k is 1-based");
+        let sorted = self.sorted_counts();
+        sorted.get(k - 1).copied().unwrap_or(0)
+    }
+
+    /// The exact signed difference oracle between two streams:
+    /// `n_q^{S2} - n_q^{S1}` for every item appearing in either.
+    pub fn signed_diff(s1: &ExactCounter, s2: &ExactCounter) -> HashMap<ItemKey, i64> {
+        let mut out: HashMap<ItemKey, i64> = HashMap::new();
+        for (&k, &c) in &s2.counts {
+            *out.entry(k).or_insert(0) += c as i64;
+        }
+        for (&k, &c) in &s1.counts {
+            *out.entry(k).or_insert(0) -= c as i64;
+        }
+        out
+    }
+
+    /// The `k` items with the largest absolute change between two streams
+    /// (the §4.2 ground truth), as `(key, signed_change)`.
+    pub fn top_k_change(s1: &ExactCounter, s2: &ExactCounter, k: usize) -> Vec<(ItemKey, i64)> {
+        let diff = Self::signed_diff(s1, s2);
+        let mut v: Vec<(ItemKey, i64)> = diff.into_iter().collect();
+        v.sort_unstable_by(|a, b| {
+            b.1.unsigned_abs()
+                .cmp(&a.1.unsigned_abs())
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Heap bytes used by the oracle (what the paper says is infeasible
+    /// for real streams — reported by experiments for context).
+    pub fn space_bytes(&self) -> usize {
+        self.counts.capacity()
+            * (std::mem::size_of::<ItemKey>()
+                + std::mem::size_of::<u64>()
+                + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(ids: &[u64]) -> ExactCounter {
+        ExactCounter::from_stream(&Stream::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let c = counter(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(c.count(ItemKey(1)), 1);
+        assert_eq!(c.count(ItemKey(2)), 2);
+        assert_eq!(c.count(ItemKey(3)), 3);
+        assert_eq!(c.count(ItemKey(99)), 0);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = ExactCounter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
+        assert_eq!(c.top_k(5), vec![]);
+        assert_eq!(c.nk(1), 0);
+    }
+
+    #[test]
+    fn sorted_counts_descending() {
+        let c = counter(&[1, 2, 2, 3, 3, 3, 4]);
+        assert_eq!(c.sorted_counts(), vec![3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn top_k_order_and_truncation() {
+        let c = counter(&[1, 2, 2, 3, 3, 3]);
+        let top = c.top_k(2);
+        assert_eq!(top, vec![(ItemKey(3), 3), (ItemKey(2), 2)]);
+        let all = c.top_k(10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let c = counter(&[5, 9, 7]); // all count 1
+        assert_eq!(
+            c.top_k(2),
+            vec![(ItemKey(5), 1), (ItemKey(7), 1)],
+            "ties broken by ascending key"
+        );
+    }
+
+    #[test]
+    fn nk_matches_sorted_counts() {
+        let c = counter(&[1, 1, 1, 2, 2, 3]);
+        assert_eq!(c.nk(1), 3);
+        assert_eq!(c.nk(2), 2);
+        assert_eq!(c.nk(3), 1);
+        assert_eq!(c.nk(4), 0);
+    }
+
+    #[test]
+    fn signed_diff_basic() {
+        let s1 = counter(&[1, 1, 2]);
+        let s2 = counter(&[1, 3, 3, 3]);
+        let d = ExactCounter::signed_diff(&s1, &s2);
+        assert_eq!(d[&ItemKey(1)], -1);
+        assert_eq!(d[&ItemKey(2)], -1);
+        assert_eq!(d[&ItemKey(3)], 3);
+    }
+
+    #[test]
+    fn top_k_change_uses_absolute_value() {
+        let s1 = counter(&[1, 1, 1, 1, 2]);
+        let s2 = counter(&[2, 2, 2, 3]);
+        // changes: item1: -4, item2: +2, item3: +1
+        let top = ExactCounter::top_k_change(&s1, &s2, 2);
+        assert_eq!(top[0], (ItemKey(1), -4));
+        assert_eq!(top[1], (ItemKey(2), 2));
+    }
+
+    #[test]
+    fn diff_of_identical_streams_is_zero() {
+        let s = counter(&[4, 4, 5]);
+        let d = ExactCounter::signed_diff(&s, &s);
+        assert!(d.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn incremental_add_matches_from_stream() {
+        let stream = Stream::from_ids([9, 8, 9, 9]);
+        let mut inc = ExactCounter::new();
+        for k in stream.iter() {
+            inc.add(k);
+        }
+        assert_eq!(inc, ExactCounter::from_stream(&stream));
+    }
+}

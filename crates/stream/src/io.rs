@@ -1,0 +1,177 @@
+//! Compact binary wire format for streams.
+//!
+//! Experiments serialize generated streams so that a workload can be
+//! produced once and replayed across harness invocations. The format is
+//! deliberately trivial and self-describing:
+//!
+//! ```text
+//! magic  u32 LE  = 0x4353_5452 ("CSTR")
+//! version u32 LE = 1
+//! len    u64 LE  = number of occurrences
+//! keys   len × u64 LE
+//! ```
+//!
+//! (A varint/delta encoding would shrink Zipfian streams considerably;
+//! plain fixed-width keeps decode simple and is not a bottleneck here.)
+
+use crate::item::Stream;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cs_hash::ItemKey;
+
+const MAGIC: u32 = 0x4353_5452; // "CSTR"
+const VERSION: u32 = 1;
+
+/// Errors that can occur while decoding a serialized stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer is shorter than a complete header + payload.
+    Truncated {
+        /// Bytes required to finish decoding.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Magic number mismatch — not a stream file.
+    BadMagic(u32),
+    /// Unknown format version.
+    BadVersion(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated stream: need {needed} bytes, have {available}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a stream to the wire format.
+pub fn encode(stream: &Stream) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + stream.len() * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(stream.len() as u64);
+    for key in stream.iter() {
+        buf.put_u64_le(key.raw());
+    }
+    buf.freeze()
+}
+
+/// Deserializes a stream from the wire format.
+pub fn decode(mut buf: &[u8]) -> Result<Stream, DecodeError> {
+    let header = 16usize;
+    if buf.len() < header {
+        return Err(DecodeError::Truncated {
+            needed: header,
+            available: buf.len(),
+        });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let len = buf.get_u64_le() as usize;
+    let payload = len.checked_mul(8).ok_or(DecodeError::Truncated {
+        needed: usize::MAX,
+        available: buf.len(),
+    })?;
+    if buf.len() < payload {
+        return Err(DecodeError::Truncated {
+            needed: header + payload,
+            available: header + buf.len(),
+        });
+    }
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(ItemKey(buf.get_u64_le()));
+    }
+    Ok(Stream::from_keys(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let s = Stream::from_ids([3, 1, 4, 1, 5, 9, 2, 6]);
+        let bytes = encode(&s);
+        assert_eq!(decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let s = Stream::new();
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn encoded_size_is_header_plus_keys() {
+        let s = Stream::from_ids(0..100);
+        assert_eq!(encode(&s).len(), 16 + 100 * 8);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let s = Stream::from_ids([1]);
+        let mut bytes = encode(&s).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let s = Stream::from_ids([1]);
+        let mut bytes = encode(&s).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let err = decode(&[0u8; 5]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let s = Stream::from_ids([1, 2, 3]);
+        let bytes = encode(&s);
+        let err = decode(&bytes[..bytes.len() - 4]).unwrap_err();
+        match err {
+            DecodeError::Truncated { needed, available } => {
+                assert_eq!(needed, 16 + 24);
+                assert_eq!(available, 16 + 20);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = DecodeError::BadMagic(0xDEAD_BEEF);
+        assert!(e.to_string().contains("deadbeef"));
+        let e = DecodeError::Truncated {
+            needed: 10,
+            available: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn large_roundtrip() {
+        let zipf = crate::zipf::Zipf::new(1000, 1.0);
+        let s = zipf.stream(50_000, 42, crate::zipf::ZipfStreamKind::Sampled);
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+}

@@ -1,0 +1,46 @@
+//! Data-stream substrate for the Count-Sketch library.
+//!
+//! The paper's model (§1): a stream `S = q_1, ..., q_n` over an item
+//! universe `O = {o_1, ..., o_m}`, with `o_i` occurring `n_i` times and
+//! items ordered so `n_1 >= n_2 >= ... >= n_m`. This crate provides
+//!
+//! * the [`Stream`] container and item model ([`item`]),
+//! * generators for the distributions the paper analyzes — most
+//!   importantly **Zipfian** streams with parameter `z` ([`zipf`]), plus
+//!   uniform / sequential / adversarial-boundary / bursty generators
+//!   ([`generators`]),
+//! * an exact-count oracle used as ground truth by every experiment
+//!   ([`exact`]),
+//! * frequency moments, in particular the **residual second moment**
+//!   `F2^{res(k)} = Σ_{q' > k} n_{q'}²` that parameterizes the paper's
+//!   space bounds ([`moments`]),
+//! * paired-stream generators with planted frequency changes for the
+//!   §4.2 max-change experiments ([`diff`]),
+//! * a compact binary wire format for streams ([`io`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod exact;
+pub mod generators;
+pub mod io;
+pub mod item;
+pub mod locality;
+pub mod moments;
+pub mod transforms;
+pub mod turnstile;
+pub mod workloads;
+pub mod zipf;
+
+pub use diff::{ChangeSpec, StreamPair};
+pub use exact::ExactCounter;
+pub use generators::{
+    adversarial_boundary_stream, constant_stream, sequential_stream, uniform_stream,
+};
+pub use item::Stream;
+pub use moments::Moments;
+pub use turnstile::TurnstileStream;
+pub use zipf::{Zipf, ZipfStreamKind};
+
+pub use cs_hash::ItemKey;

@@ -1,0 +1,145 @@
+//! Temporal-locality stream generator.
+//!
+//! The paper's reference \[17\] (Xie & O'Hallaron, INFOCOM '02) studies
+//! *locality* in search-engine query streams: beyond the global Zipfian
+//! popularity, queries exhibit temporal clustering — a query seen
+//! recently is more likely to recur soon. This generator reproduces
+//! that structure with a working-set model:
+//!
+//! * with probability `locality`, the next occurrence is drawn
+//!   uniformly from a bounded *working set* of recently seen items;
+//! * otherwise it is drawn from the global Zipf(z) law (and enters the
+//!   working set, evicting the oldest member).
+//!
+//! `locality = 0` degenerates to the i.i.d. Zipf stream; `locality → 1`
+//! produces heavily bursty traffic. Global frequencies remain governed
+//! by the Zipf law (the working set is itself populated by Zipf draws),
+//! so the sketch-side theory still applies, while arrival order becomes
+//! adversarial for order-sensitive structures like the APPROXTOP heap —
+//! which is what the order-sensitivity ablation measures.
+
+use crate::item::Stream;
+use crate::zipf::Zipf;
+use cs_hash::ItemKey;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Generates a Zipf(z) stream of length `n` over `m` items with
+/// temporal locality.
+///
+/// # Panics
+/// Panics unless `0 <= locality <= 1` and `working_set >= 1`.
+pub fn locality_stream(
+    m: usize,
+    n: usize,
+    z: f64,
+    locality: f64,
+    working_set: usize,
+    seed: u64,
+) -> Stream {
+    assert!((0.0..=1.0).contains(&locality), "locality must be in [0,1]");
+    assert!(working_set >= 1, "working set must be non-empty");
+    let zipf = Zipf::new(m, z);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut recent: VecDeque<ItemKey> = VecDeque::with_capacity(working_set);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = if !recent.is_empty() && rng.gen::<f64>() < locality {
+            recent[rng.gen_range(0..recent.len())]
+        } else {
+            let key = ItemKey(zipf.sample(&mut rng) as u64);
+            if recent.len() == working_set {
+                recent.pop_front();
+            }
+            recent.push_back(key);
+            key
+        };
+        out.push(key);
+    }
+    Stream::from_keys(out)
+}
+
+/// A simple locality score: the fraction of positions whose item also
+/// occurs within the previous `window` positions. Used by tests and to
+/// characterize generated workloads.
+pub fn locality_score(stream: &Stream, window: usize) -> f64 {
+    assert!(window >= 1);
+    let keys = stream.as_slice();
+    if keys.len() <= 1 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for i in 1..keys.len() {
+        let lo = i.saturating_sub(window);
+        if keys[lo..i].contains(&keys[i]) {
+            hits += 1;
+        }
+    }
+    hits as f64 / (keys.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+
+    #[test]
+    fn zero_locality_matches_iid_statistics() {
+        let s = locality_stream(1_000, 50_000, 1.0, 0.0, 16, 3);
+        assert_eq!(s.len(), 50_000);
+        let exact = ExactCounter::from_stream(&s);
+        // Top item frequency near the Zipf prediction.
+        let zipf = Zipf::new(1_000, 1.0);
+        let want = zipf.expected_count(0, 50_000);
+        let got = exact.count(ItemKey(0)) as f64;
+        assert!(
+            (got - want).abs() < 5.0 * want.sqrt() + 10.0,
+            "got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn higher_locality_scores_higher() {
+        let low = locality_stream(5_000, 20_000, 0.8, 0.1, 32, 7);
+        let high = locality_stream(5_000, 20_000, 0.8, 0.8, 32, 7);
+        let s_low = locality_score(&low, 32);
+        let s_high = locality_score(&high, 32);
+        assert!(
+            s_high > s_low + 0.2,
+            "locality scores: low {s_low}, high {s_high}"
+        );
+    }
+
+    #[test]
+    fn global_skew_preserved_under_locality() {
+        // Even at high locality, rank-0 should stay the most frequent
+        // item overall (working set members are Zipf draws).
+        let s = locality_stream(500, 100_000, 1.2, 0.7, 16, 11);
+        let exact = ExactCounter::from_stream(&s);
+        let top = exact.top_k(1)[0].0;
+        assert_eq!(top, ItemKey(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            locality_stream(100, 5_000, 1.0, 0.5, 8, 9),
+            locality_stream(100, 5_000, 1.0, 0.5, 8, 9)
+        );
+    }
+
+    #[test]
+    fn locality_score_extremes() {
+        let constant = Stream::from_ids(std::iter::repeat_n(1, 100));
+        assert!((locality_score(&constant, 4) - 1.0).abs() < 1e-12);
+        let distinct = Stream::from_ids(0..100);
+        assert_eq!(locality_score(&distinct, 4), 0.0);
+        assert_eq!(locality_score(&Stream::new(), 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be in [0,1]")]
+    fn bad_locality_rejected() {
+        locality_stream(10, 10, 1.0, 1.5, 4, 0);
+    }
+}

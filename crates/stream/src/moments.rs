@@ -1,0 +1,156 @@
+//! Frequency moments of a stream.
+//!
+//! The paper's bounds are stated in terms of the residual second moment
+//! `Σ_{q' = k+1}^{m} n_{q'}²` — the second moment of everything *below*
+//! the top `k` (Lemma 2, Lemma 5, Theorem 1) — and the error scale
+//! `γ = sqrt(F2^{res(k)} / b)` (eq. 5). This module computes those
+//! quantities exactly from an [`ExactCounter`] so experiments can check
+//! the `8γ` estimate bound and size `b` per Lemma 5.
+
+use crate::exact::ExactCounter;
+use serde::{Deserialize, Serialize};
+
+/// Exact frequency moments of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    /// `F0`: number of distinct items.
+    pub f0: u64,
+    /// `F1 = Σ n_q = n`: stream length.
+    pub f1: u64,
+    /// `F2 = Σ n_q²`: second frequency moment (Alon–Matias–Szegedy).
+    pub f2: u128,
+}
+
+impl Moments {
+    /// Computes all moments from exact counts.
+    pub fn of(counts: &ExactCounter) -> Self {
+        let f2 = counts
+            .counts()
+            .values()
+            .map(|&c| u128::from(c) * u128::from(c))
+            .sum();
+        Self {
+            f0: counts.distinct() as u64,
+            f1: counts.total(),
+            f2,
+        }
+    }
+}
+
+/// The residual second moment `F2^{res(k)} = Σ_{q' > k} n_{q'}²`
+/// (counts ranked non-increasing; the top `k` are excluded).
+pub fn residual_f2(counts: &ExactCounter, k: usize) -> u128 {
+    let sorted = counts.sorted_counts();
+    sorted
+        .iter()
+        .skip(k)
+        .map(|&c| u128::from(c) * u128::from(c))
+        .sum()
+}
+
+/// The paper's error scale `γ = sqrt(F2^{res(k)} / b)` (eq. 5): with
+/// `t = Θ(log n/δ)` rows, every estimate is within `8γ` of the true count
+/// with probability `1 - δ` (Lemma 4).
+pub fn gamma(counts: &ExactCounter, k: usize, b: usize) -> f64 {
+    assert!(b > 0, "b must be positive");
+    (residual_f2(counts, k) as f64 / b as f64).sqrt()
+}
+
+/// Empirical entropy (bits) of the frequency distribution — reported by
+/// experiments to characterize workloads.
+pub fn entropy_bits(counts: &ExactCounter) -> f64 {
+    let n = counts.total();
+    if n == 0 {
+        return 0.0;
+    }
+    counts
+        .counts()
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Stream;
+
+    fn counter(ids: &[u64]) -> ExactCounter {
+        ExactCounter::from_stream(&Stream::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn moments_basic() {
+        let c = counter(&[1, 1, 1, 2, 2, 3]); // counts 3,2,1
+        let m = Moments::of(&c);
+        assert_eq!(m.f0, 3);
+        assert_eq!(m.f1, 6);
+        assert_eq!(m.f2, 9 + 4 + 1);
+    }
+
+    #[test]
+    fn moments_empty() {
+        let m = Moments::of(&ExactCounter::new());
+        assert_eq!((m.f0, m.f1, m.f2), (0, 0, 0));
+    }
+
+    #[test]
+    fn residual_excludes_top_k() {
+        let c = counter(&[1, 1, 1, 2, 2, 3]); // sorted counts 3,2,1
+        assert_eq!(residual_f2(&c, 0), 14);
+        assert_eq!(residual_f2(&c, 1), 5);
+        assert_eq!(residual_f2(&c, 2), 1);
+        assert_eq!(residual_f2(&c, 3), 0);
+        assert_eq!(residual_f2(&c, 100), 0);
+    }
+
+    #[test]
+    fn gamma_formula() {
+        let c = counter(&[1, 1, 1, 2, 2, 3]);
+        let g = gamma(&c, 1, 5); // sqrt(5/5) = 1
+        assert!((g - 1.0).abs() < 1e-12);
+        let g = gamma(&c, 0, 14); // sqrt(14/14) = 1
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_decreases_with_b() {
+        let c = counter(&[1, 1, 2, 2, 3, 3, 4, 4]);
+        assert!(gamma(&c, 0, 16) < gamma(&c, 0, 4));
+        // Exactly sqrt(4) = 2x smaller:
+        let ratio = gamma(&c, 0, 4) / gamma(&c, 0, 16);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be positive")]
+    fn gamma_rejects_zero_b() {
+        gamma(&ExactCounter::new(), 0, 0);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_m() {
+        let c = counter(&[1, 2, 3, 4]);
+        assert!((entropy_bits(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_constant_is_zero() {
+        let c = counter(&[7, 7, 7]);
+        assert!(entropy_bits(&c).abs() < 1e-12);
+        assert!(entropy_bits(&ExactCounter::new()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f2_no_overflow_on_large_counts() {
+        let mut c = ExactCounter::new();
+        for _ in 0..1_000 {
+            c.add(cs_hash::ItemKey(1));
+        }
+        let m = Moments::of(&c);
+        assert_eq!(m.f2, 1_000_000);
+    }
+}

@@ -1,0 +1,150 @@
+//! Stream transforms used by experiments and examples.
+//!
+//! Pure functions from streams to streams: concatenation, seeded
+//! interleaving (merging two time periods into one stream while
+//! preserving per-item counts), subsampling (the SAMPLING baseline's
+//! input model), filtering, and key remapping.
+
+use crate::item::Stream;
+use cs_hash::ItemKey;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Concatenates streams in order.
+pub fn concat(streams: &[Stream]) -> Stream {
+    let mut out = Stream::new();
+    for s in streams {
+        out.extend_from(s);
+    }
+    out
+}
+
+/// Interleaves two streams in a seeded uniformly random order,
+/// preserving each stream's internal occurrence order.
+pub fn interleave(a: &Stream, b: &Stream, seed: u64) -> Stream {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Positions: true = draw from a, false = from b; shuffled multiset.
+    let mut picks: Vec<bool> = std::iter::repeat_n(true, a.len())
+        .chain(std::iter::repeat_n(false, b.len()))
+        .collect();
+    picks.shuffle(&mut rng);
+    let mut ia = a.iter();
+    let mut ib = b.iter();
+    picks
+        .into_iter()
+        .map(|from_a| {
+            if from_a {
+                ia.next().expect("counted")
+            } else {
+                ib.next().expect("counted")
+            }
+        })
+        .collect()
+}
+
+/// Keeps each occurrence independently with probability `p` (Bernoulli
+/// subsampling — the model behind the SAMPLING baseline).
+pub fn subsample(stream: &Stream, p: f64, seed: u64) -> Stream {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    stream.iter().filter(|_| rng.gen::<f64>() < p).collect()
+}
+
+/// Keeps occurrences whose key satisfies the predicate.
+pub fn filter(stream: &Stream, mut pred: impl FnMut(ItemKey) -> bool) -> Stream {
+    stream.iter().filter(|&k| pred(k)).collect()
+}
+
+/// Remaps every key through a function (e.g. anonymization, bucketing
+/// flows by prefix).
+pub fn map_keys(stream: &Stream, f: impl FnMut(ItemKey) -> ItemKey) -> Stream {
+    stream.iter().map(f).collect()
+}
+
+/// Repeats a stream `times` times (longer synthetic workloads with
+/// identical relative frequencies).
+pub fn repeat(stream: &Stream, times: usize) -> Stream {
+    let mut out = Stream::new();
+    for _ in 0..times {
+        out.extend_from(stream);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+
+    #[test]
+    fn concat_preserves_order_and_counts() {
+        let a = Stream::from_ids([1, 2]);
+        let b = Stream::from_ids([3]);
+        let c = concat(&[a, b]);
+        assert_eq!(c, Stream::from_ids([1, 2, 3]));
+        assert!(concat(&[]).is_empty());
+    }
+
+    #[test]
+    fn interleave_preserves_multiset_and_suborder() {
+        let a = Stream::from_ids([1, 1, 2]);
+        let b = Stream::from_ids([9, 9, 9, 9]);
+        let m = interleave(&a, &b, 5);
+        assert_eq!(m.len(), 7);
+        let ex = ExactCounter::from_stream(&m);
+        assert_eq!(ex.count(ItemKey(1)), 2);
+        assert_eq!(ex.count(ItemKey(2)), 1);
+        assert_eq!(ex.count(ItemKey(9)), 4);
+        // a's occurrences keep their relative order: 1,1,2.
+        let from_a: Vec<u64> = m.iter().filter(|k| k.raw() != 9).map(|k| k.raw()).collect();
+        assert_eq!(from_a, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn interleave_is_seed_deterministic() {
+        let a = Stream::from_ids(0..50);
+        let b = Stream::from_ids(50..100);
+        assert_eq!(interleave(&a, &b, 7), interleave(&a, &b, 7));
+        assert_ne!(interleave(&a, &b, 7), interleave(&a, &b, 8));
+    }
+
+    #[test]
+    fn subsample_rate() {
+        let s = Stream::from_ids((0..20_000u64).map(|i| i % 10));
+        let sub = subsample(&s, 0.25, 3);
+        let rate = sub.len() as f64 / s.len() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(subsample(&s, 0.0, 1).is_empty());
+        assert_eq!(subsample(&s, 1.0, 1), s);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let s = Stream::from_ids([1, 2, 3, 4]);
+        let evens = filter(&s, |k| k.raw() % 2 == 0);
+        assert_eq!(evens, Stream::from_ids([2, 4]));
+    }
+
+    #[test]
+    fn map_keys_rewrites() {
+        let s = Stream::from_ids([1, 2]);
+        let shifted = map_keys(&s, |k| ItemKey(k.raw() + 100));
+        assert_eq!(shifted, Stream::from_ids([101, 102]));
+    }
+
+    #[test]
+    fn repeat_multiplies_counts() {
+        let s = Stream::from_ids([5, 5, 6]);
+        let r = repeat(&s, 3);
+        assert_eq!(r.len(), 9);
+        let ex = ExactCounter::from_stream(&r);
+        assert_eq!(ex.count(ItemKey(5)), 6);
+        assert!(repeat(&s, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn bad_subsample_p_rejected() {
+        subsample(&Stream::new(), 1.5, 0);
+    }
+}

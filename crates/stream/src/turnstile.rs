@@ -1,0 +1,258 @@
+//! Turnstile (insert/delete) stream model.
+//!
+//! The Count-Sketch is a *linear* sketch: `ADD` generalizes to weighted
+//! and negative updates, which is exactly what §4.2 exploits
+//! (`h_i[q] -= s_i[q]` over `S1`). This module models such streams
+//! explicitly: a [`TurnstileStream`] is a sequence of `(item, Δ)` events
+//! where `Δ` may be negative — the "turnstile model" of the streaming
+//! literature (Muthukrishnan), with the *strict* variant keeping all
+//! running counts non-negative (items leave a set no more often than
+//! they entered).
+//!
+//! Provided: the event container, a strict-turnstile generator
+//! (insertions followed by partial deletions, e.g. open/close network
+//! flows), an exact signed oracle, and conversion from plain streams.
+
+use crate::exact::ExactCounter;
+use crate::item::Stream;
+use cs_hash::ItemKey;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One turnstile event: `Δ` occurrences of an item (negative = delete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    /// The item.
+    pub key: ItemKey,
+    /// The signed weight.
+    pub delta: i64,
+}
+
+/// A sequence of signed updates.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TurnstileStream {
+    updates: Vec<Update>,
+}
+
+impl TurnstileStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps raw updates.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        Self { updates }
+    }
+
+    /// Lifts a plain stream: every occurrence becomes `Δ = +1`.
+    pub fn from_stream(stream: &Stream) -> Self {
+        Self {
+            updates: stream.iter().map(|key| Update { key, delta: 1 }).collect(),
+        }
+    }
+
+    /// The difference model of §4.2: `S2 − S1` as one turnstile stream
+    /// (all of `S1` with `Δ = −1`, then all of `S2` with `Δ = +1`).
+    pub fn difference(s1: &Stream, s2: &Stream) -> Self {
+        let mut updates = Vec::with_capacity(s1.len() + s2.len());
+        updates.extend(s1.iter().map(|key| Update { key, delta: -1 }));
+        updates.extend(s2.iter().map(|key| Update { key, delta: 1 }));
+        Self { updates }
+    }
+
+    /// Appends one update.
+    pub fn push(&mut self, key: ItemKey, delta: i64) {
+        self.updates.push(Update { key, delta });
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether there are no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = Update> + '_ {
+        self.updates.iter().copied()
+    }
+
+    /// Exact final signed counts.
+    pub fn exact_counts(&self) -> HashMap<ItemKey, i64> {
+        let mut out: HashMap<ItemKey, i64> = HashMap::new();
+        for u in &self.updates {
+            *out.entry(u.key).or_insert(0) += u.delta;
+        }
+        out
+    }
+
+    /// The `k` items with the largest |final count| (ties: key
+    /// ascending).
+    pub fn top_k_by_magnitude(&self, k: usize) -> Vec<(ItemKey, i64)> {
+        let mut v: Vec<(ItemKey, i64)> = self.exact_counts().into_iter().collect();
+        v.sort_unstable_by(|a, b| {
+            b.1.unsigned_abs()
+                .cmp(&a.1.unsigned_abs())
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Whether the stream is *strict*: no prefix drives any item's
+    /// running count negative.
+    pub fn is_strict(&self) -> bool {
+        let mut running: HashMap<ItemKey, i64> = HashMap::new();
+        for u in &self.updates {
+            let c = running.entry(u.key).or_insert(0);
+            *c += u.delta;
+            if *c < 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Update> for TurnstileStream {
+    fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Self {
+        Self {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Generates a strict turnstile workload from a base stream: all
+/// insertions, then a `delete_fraction` of each item's occurrences
+/// deleted (unit deletes), in seeded shuffled order *after* the inserts
+/// of the same item (strictness by construction: deletions are emitted
+/// in a second phase).
+pub fn strict_turnstile_from(base: &Stream, delete_fraction: f64, seed: u64) -> TurnstileStream {
+    assert!(
+        (0.0..=1.0).contains(&delete_fraction),
+        "fraction must be in [0,1]"
+    );
+    let exact = ExactCounter::from_stream(base);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut updates: Vec<Update> = base.iter().map(|key| Update { key, delta: 1 }).collect();
+    let mut deletions: Vec<Update> = Vec::new();
+    // Deterministic item order for reproducibility.
+    let mut items: Vec<(ItemKey, u64)> = exact.counts().iter().map(|(&k, &c)| (k, c)).collect();
+    items.sort_unstable();
+    for (key, count) in items {
+        let dels = (count as f64 * delete_fraction).floor() as u64;
+        deletions.extend(std::iter::repeat_n(
+            Update { key, delta: -1 },
+            dels as usize,
+        ));
+    }
+    deletions.shuffle(&mut rng);
+    updates.append(&mut deletions);
+    TurnstileStream { updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::{Zipf, ZipfStreamKind};
+
+    #[test]
+    fn from_stream_counts_match() {
+        let s = Stream::from_ids([1, 1, 2]);
+        let t = TurnstileStream::from_stream(&s);
+        let counts = t.exact_counts();
+        assert_eq!(counts[&ItemKey(1)], 2);
+        assert_eq!(counts[&ItemKey(2)], 1);
+        assert!(t.is_strict());
+    }
+
+    #[test]
+    fn difference_counts_are_signed() {
+        let s1 = Stream::from_ids([1, 1, 1, 2]);
+        let s2 = Stream::from_ids([2, 2, 3]);
+        let d = TurnstileStream::difference(&s1, &s2);
+        let counts = d.exact_counts();
+        assert_eq!(counts[&ItemKey(1)], -3);
+        assert_eq!(counts[&ItemKey(2)], 1);
+        assert_eq!(counts[&ItemKey(3)], 1);
+        assert!(!d.is_strict(), "difference streams are not strict");
+    }
+
+    #[test]
+    fn top_k_by_magnitude_orders_by_abs() {
+        let mut t = TurnstileStream::new();
+        t.push(ItemKey(1), 5);
+        t.push(ItemKey(2), -9);
+        t.push(ItemKey(3), 7);
+        let top = t.top_k_by_magnitude(2);
+        assert_eq!(top, vec![(ItemKey(2), -9), (ItemKey(3), 7)]);
+    }
+
+    #[test]
+    fn strict_generator_is_strict_and_deletes_fraction() {
+        let zipf = Zipf::new(100, 1.0);
+        let base = zipf.stream(5_000, 1, ZipfStreamKind::DeterministicRounded);
+        let t = strict_turnstile_from(&base, 0.5, 2);
+        assert!(t.is_strict());
+        let total: i64 = t.exact_counts().values().sum();
+        // Roughly half the mass deleted (floor per item).
+        assert!((2_500..=2_700).contains(&total), "remaining mass {total}");
+    }
+
+    #[test]
+    fn strict_generator_zero_fraction_is_plain_inserts() {
+        let base = Stream::from_ids([1, 2]);
+        let t = strict_turnstile_from(&base, 0.0, 3);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|u| u.delta == 1));
+    }
+
+    #[test]
+    fn full_deletion_leaves_zero_counts() {
+        let base = Stream::from_ids([5, 5, 5, 5]);
+        let t = strict_turnstile_from(&base, 1.0, 4);
+        assert_eq!(t.exact_counts()[&ItemKey(5)], 0);
+        assert!(t.is_strict());
+    }
+
+    #[test]
+    fn is_strict_detects_prefix_violation() {
+        let mut t = TurnstileStream::new();
+        t.push(ItemKey(1), -1);
+        t.push(ItemKey(1), 2);
+        assert!(!t.is_strict(), "final count positive but prefix negative");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = TurnstileStream::new();
+        t.push(ItemKey(1), 3);
+        t.push(ItemKey(2), -1);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TurnstileStream = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: TurnstileStream = (0..3)
+            .map(|i| Update {
+                key: ItemKey(i),
+                delta: 1,
+            })
+            .collect();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn bad_fraction_rejected() {
+        strict_turnstile_from(&Stream::new(), 1.5, 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Zipfian distributions and stream generators.
+//!
+//! Section 4.1 of the paper analyzes the algorithm on Zipfian inputs:
+//! `n_q ∝ 1/q^z` for rank `q = 1..m`. The space-bound comparison in
+//! Table 1 is split into the regimes `z < 1/2`, `z = 1/2`, `1/2 < z < 1`,
+//! `z = 1` and `z > 1`, so the generator takes `z` as a free parameter.
+//!
+//! Two stream kinds are provided:
+//!
+//! * [`ZipfStreamKind::Sampled`] — each position drawn i.i.d. from the
+//!   Zipf law (inverse-CDF sampling). Matches the probabilistic model;
+//!   realized counts fluctuate around `n·f_q`.
+//! * [`ZipfStreamKind::DeterministicRounded`] — item `q` occurs exactly
+//!   `round(n·f_q)` times (largest-remainder rounding so the total is
+//!   exactly `n`), in seeded-shuffled order. Gives exact, reproducible
+//!   ground-truth ranks, which the guarantee-checking experiments prefer.
+//!
+//! By default item `ItemKey(r)` is the rank-`r` item (0-based), making
+//! ground truth self-evident; [`Zipf::stream_scrambled`] instead maps
+//! ranks through a fixed 64-bit bijection for realism.
+
+use crate::item::Stream;
+use cs_hash::mix::finalize;
+use cs_hash::ItemKey;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf distribution over `m` ranked items with parameter `z >= 0`.
+///
+/// ```
+/// use cs_stream::{Zipf, ZipfStreamKind};
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// // Rank-0 item is twice as frequent as rank-1 at z = 1.
+/// assert!((zipf.frequency(0) / zipf.frequency(1) - 2.0).abs() < 1e-9);
+/// let stream = zipf.stream(10_000, 42, ZipfStreamKind::DeterministicRounded);
+/// assert_eq!(stream.len(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    m: usize,
+    z: f64,
+    /// Cumulative probabilities `P[rank <= r]`, length `m`, last entry 1.
+    cdf: Vec<f64>,
+}
+
+/// How a Zipf stream realizes the distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfStreamKind {
+    /// Positions sampled i.i.d. from the law.
+    Sampled,
+    /// Item `q` occurs exactly `round(n·f_q)` times, shuffled.
+    DeterministicRounded,
+}
+
+impl Zipf {
+    /// Builds the distribution (O(m) precomputation).
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `z` is negative/non-finite.
+    pub fn new(m: usize, z: f64) -> Self {
+        assert!(m > 0, "universe size must be positive");
+        assert!(z.is_finite() && z >= 0.0, "z must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0f64;
+        for q in 1..=m {
+            acc += (q as f64).powf(-z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().expect("m > 0") = 1.0;
+        Self { m, z, cdf }
+    }
+
+    /// Universe size `m`.
+    pub fn universe(&self) -> usize {
+        self.m
+    }
+
+    /// The Zipf parameter `z`.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The probability `f_q` of the rank-`r` item (0-based rank).
+    pub fn frequency(&self, rank: usize) -> f64 {
+        assert!(rank < self.m, "rank out of range");
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Expected number of occurrences of the rank-`r` item in a stream of
+    /// length `n`.
+    pub fn expected_count(&self, rank: usize, n: usize) -> f64 {
+        self.frequency(rank) * n as f64
+    }
+
+    /// The exact per-rank counts used by
+    /// [`ZipfStreamKind::DeterministicRounded`]: largest-remainder
+    /// rounding of `n·f_q`, summing to exactly `n`. Counts are
+    /// non-increasing in rank.
+    pub fn rounded_counts(&self, n: usize) -> Vec<u64> {
+        let mut counts: Vec<u64> = Vec::with_capacity(self.m);
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(self.m);
+        let mut assigned = 0u64;
+        for rank in 0..self.m {
+            let ideal = self.expected_count(rank, n);
+            let floor = ideal.floor() as u64;
+            counts.push(floor);
+            assigned += floor;
+            remainders.push((ideal - floor as f64, rank));
+        }
+        let mut deficit = (n as u64).saturating_sub(assigned);
+        // Hand out the deficit to the largest fractional parts, breaking
+        // ties toward lower ranks so counts stay sorted.
+        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, rank) in &remainders {
+            if deficit == 0 {
+                break;
+            }
+            counts[rank] += 1;
+            deficit -= 1;
+        }
+        debug_assert_eq!(counts.iter().sum::<u64>(), n as u64);
+        counts
+    }
+
+    /// Samples a 0-based rank by inverse-CDF binary search.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.m - 1)
+    }
+
+    /// Generates a stream of length `n` with items keyed by rank.
+    pub fn stream(&self, n: usize, seed: u64, kind: ZipfStreamKind) -> Stream {
+        self.stream_with_ids(n, seed, kind, |rank| rank as u64)
+    }
+
+    /// Generates a stream whose item ids are scrambled through a fixed
+    /// 64-bit bijection (rank is no longer readable from the key).
+    pub fn stream_scrambled(&self, n: usize, seed: u64, kind: ZipfStreamKind) -> Stream {
+        self.stream_with_ids(n, seed, kind, |rank| finalize(rank as u64 ^ 0x5EED_CAFE))
+    }
+
+    /// The id the rank-`r` item receives in [`Zipf::stream_scrambled`].
+    pub fn scrambled_id(rank: usize) -> u64 {
+        finalize(rank as u64 ^ 0x5EED_CAFE)
+    }
+
+    fn stream_with_ids(
+        &self,
+        n: usize,
+        seed: u64,
+        kind: ZipfStreamKind,
+        id_of: impl Fn(usize) -> u64,
+    ) -> Stream {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match kind {
+            ZipfStreamKind::Sampled => (0..n)
+                .map(|_| ItemKey(id_of(self.sample(&mut rng))))
+                .collect(),
+            ZipfStreamKind::DeterministicRounded => {
+                let counts = self.rounded_counts(n);
+                let mut items: Vec<ItemKey> = Vec::with_capacity(n);
+                for (rank, &c) in counts.iter().enumerate() {
+                    let key = ItemKey(id_of(rank));
+                    items.extend(std::iter::repeat_n(key, c as usize));
+                }
+                items.shuffle(&mut rng);
+                Stream::from_keys(items)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        for z in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let zipf = Zipf::new(100, z);
+            let total: f64 = (0..100).map(|r| zipf.frequency(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "z = {z}, total = {total}");
+        }
+    }
+
+    #[test]
+    fn frequencies_non_increasing() {
+        let zipf = Zipf::new(1000, 1.2);
+        for r in 1..1000 {
+            assert!(
+                zipf.frequency(r) <= zipf.frequency(r - 1) + 1e-12,
+                "rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((zipf.frequency(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequency_ratio_matches_power_law() {
+        let z = 1.0;
+        let zipf = Zipf::new(100, z);
+        // f_1 / f_2 = 2^z
+        let ratio = zipf.frequency(0) / zipf.frequency(1);
+        assert!((ratio - 2f64.powf(z)).abs() < 1e-9);
+        let ratio = zipf.frequency(2) / zipf.frequency(5);
+        assert!((ratio - 2f64.powf(z)).abs() < 1e-9); // ranks 3 vs 6
+    }
+
+    #[test]
+    fn rounded_counts_total_exactly_n() {
+        for (m, z, n) in [(10, 1.0, 1000), (100, 0.5, 12345), (50, 2.0, 7)] {
+            let zipf = Zipf::new(m, z);
+            let counts = zipf.rounded_counts(n);
+            assert_eq!(counts.iter().sum::<u64>(), n as u64);
+        }
+    }
+
+    #[test]
+    fn rounded_counts_non_increasing() {
+        let zipf = Zipf::new(200, 0.8);
+        let counts = zipf.rounded_counts(100_000);
+        for i in 1..counts.len() {
+            assert!(counts[i] <= counts[i - 1], "rank {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_stream_matches_rounded_counts() {
+        let zipf = Zipf::new(20, 1.0);
+        let n = 5000;
+        let s = zipf.stream(n, 99, ZipfStreamKind::DeterministicRounded);
+        assert_eq!(s.len(), n);
+        let counts = zipf.rounded_counts(n);
+        let mut observed = std::collections::HashMap::new();
+        for k in s.iter() {
+            *observed.entry(k).or_insert(0u64) += 1;
+        }
+        for (rank, &c) in counts.iter().enumerate() {
+            let got = observed.get(&ItemKey(rank as u64)).copied().unwrap_or(0);
+            assert_eq!(got, c, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn sampled_stream_has_roughly_zipf_counts() {
+        let zipf = Zipf::new(100, 1.0);
+        let n = 200_000;
+        let s = zipf.stream(n, 1, ZipfStreamKind::Sampled);
+        let mut counts = vec![0u64; 100];
+        for k in s.iter() {
+            counts[k.raw() as usize] += 1;
+        }
+        // Top item: expected n*f_0; allow 5 sigma of binomial noise.
+        for rank in [0usize, 1, 4] {
+            let expect = zipf.expected_count(rank, n);
+            let sd = (expect * (1.0 - zipf.frequency(rank))).sqrt();
+            let got = counts[rank] as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * sd + 1.0,
+                "rank {rank}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let zipf = Zipf::new(50, 1.1);
+        for kind in [
+            ZipfStreamKind::Sampled,
+            ZipfStreamKind::DeterministicRounded,
+        ] {
+            let a = zipf.stream(1000, 7, kind);
+            let b = zipf.stream(1000, 7, kind);
+            assert_eq!(a, b);
+            let c = zipf.stream(1000, 8, kind);
+            assert_ne!(a, c, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn scrambled_ids_are_consistent_bijection() {
+        let zipf = Zipf::new(30, 1.0);
+        let s = zipf.stream_scrambled(2000, 3, ZipfStreamKind::DeterministicRounded);
+        let counts = zipf.rounded_counts(2000);
+        let mut observed = std::collections::HashMap::new();
+        for k in s.iter() {
+            *observed.entry(k).or_insert(0u64) += 1;
+        }
+        // The scrambled id of rank 0 must carry rank 0's count.
+        let top = ItemKey(Zipf::scrambled_id(0));
+        assert_eq!(observed.get(&top).copied().unwrap_or(0), counts[0]);
+        // All scrambled ids distinct.
+        let ids: std::collections::HashSet<u64> = (0..30).map(Zipf::scrambled_id).collect();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size must be positive")]
+    fn zero_universe_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "z must be finite")]
+    fn negative_z_rejected() {
+        Zipf::new(10, -1.0);
+    }
+
+    #[test]
+    fn single_item_universe() {
+        let zipf = Zipf::new(1, 1.0);
+        assert!((zipf.frequency(0) - 1.0).abs() < 1e-12);
+        let s = zipf.stream(10, 0, ZipfStreamKind::Sampled);
+        assert!(s.iter().all(|k| k == ItemKey(0)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_sample_in_range(seed: u64, m in 1usize..500, z in 0.0f64..3.0) {
+            let zipf = Zipf::new(m, z);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(zipf.sample(&mut rng) < m);
+            }
+        }
+
+        #[test]
+        fn prop_rounded_counts_sum(m in 1usize..300, z in 0.0f64..3.0, n in 0usize..10_000) {
+            let zipf = Zipf::new(m, z);
+            let counts = zipf.rounded_counts(n);
+            prop_assert_eq!(counts.iter().sum::<u64>(), n as u64);
+        }
+
+        #[test]
+        fn prop_stream_length(seed: u64, n in 0usize..2000) {
+            let zipf = Zipf::new(20, 1.0);
+            prop_assert_eq!(zipf.stream(n, seed, ZipfStreamKind::Sampled).len(), n);
+            prop_assert_eq!(
+                zipf.stream(n, seed, ZipfStreamKind::DeterministicRounded).len(), n);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: find the most frequent items in a stream in one pass.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use frequent_items::prelude::*;
+
+fn main() {
+    // Build a synthetic "word stream": a few heavy hitters in a sea of
+    // one-off noise words.
+    let mut words: Vec<String> = Vec::new();
+    for (word, count) in [
+        ("the", 900),
+        ("sketch", 400),
+        ("stream", 250),
+        ("count", 150),
+    ] {
+        words.extend(std::iter::repeat_n(word.to_string(), count));
+    }
+    words.extend((0..2_000).map(|i| format!("noise-{i}")));
+    // Deterministic interleave so heavy words are spread through the
+    // stream rather than batched.
+    words.sort_by_key(|w| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(w, &mut h);
+        std::hash::Hasher::finish(&h)
+    });
+
+    let stream = Stream::from_items(words.iter().map(String::as_str));
+
+    // A Count-Sketch with t = 5 rows and b = 512 buckets, plus a 4-slot
+    // heap: O(t·b + k) memory regardless of how many distinct words the
+    // stream contains.
+    let k = 4;
+    let result = approx_top(&stream, k, SketchParams::new(5, 512), 42);
+
+    println!(
+        "top-{k} by estimated count (stream of {} occurrences):",
+        stream.len()
+    );
+    for (key, est) in &result.items {
+        // Map keys back to words for display (the sketch itself never
+        // stores the words — only the k heap entries would, in a real
+        // deployment).
+        let word = ["the", "sketch", "stream", "count"]
+            .iter()
+            .find(|w| ItemKey::of(**w) == *key)
+            .copied()
+            .unwrap_or("<unexpected>");
+        println!("  {word:>8}  ~{est}");
+    }
+    println!("sketch + heap memory: {} bytes", result.space_bytes);
+
+    // Verify against the exact oracle.
+    let exact = ExactCounter::from_stream(&stream);
+    assert_eq!(result.items[0].0, ItemKey::of("the"));
+    println!(
+        "exact count of 'the': {} (estimate {})",
+        exact.count(ItemKey::of("the")),
+        result.items[0].1
+    );
+}

@@ -1,0 +1,95 @@
+//! Sliding-window trending topics: the paper's "most frequent queries in
+//! some period of time" (§1), served live from epoch sketches combined
+//! via additivity (extension module `cs_core::window`), plus an iceberg
+//! query (§2's problem shape) over the same stream.
+//!
+//! ```sh
+//! cargo run --release --example trending_window
+//! ```
+
+use frequent_items::prelude::*;
+use frequent_items::sketch::iceberg::iceberg;
+use frequent_items::sketch::window::SlidingSketch;
+
+fn main() {
+    // A day of traffic in 6 "hours" (epochs). Topics rise and fall:
+    // item 1 is the morning story, item 2 peaks mid-day, item 3 owns the
+    // evening; a Zipfian tail of 20k background queries runs throughout.
+    let epoch_len = 50_000;
+    let hours = 6;
+    let zipf = Zipf::new(20_000, 1.0);
+    let mut day = Vec::new();
+    for hour in 0..hours {
+        let hot_boost = |peak: usize, width: usize| -> usize {
+            let dist = (hour as i64 - peak as i64).unsigned_abs() as usize;
+            if dist > width {
+                0
+            } else {
+                // Peak well above the Zipf background's top item
+                // (~5k/epoch at z=1, n=50k).
+                24_000 / (1 + 3 * dist)
+            }
+        };
+        let mut hour_items: Vec<ItemKey> = zipf
+            .stream(epoch_len, 0xDA7 ^ hour as u64, ZipfStreamKind::Sampled)
+            .iter()
+            // Shift background ids to leave room for the planted topics.
+            .map(|k| ItemKey(k.raw() + 10))
+            .collect();
+        for (item, peak) in [(1u64, 0usize), (2, 2), (3, 5)] {
+            hour_items.extend(std::iter::repeat_n(ItemKey(item), hot_boost(peak, 1)));
+        }
+        day.push(Stream::from_keys(hour_items));
+    }
+
+    // Window: the last 2 hours, tracked with a 5-slot heap.
+    let mut window = SlidingSketch::new(SketchParams::new(7, 4096), 99, epoch_len, 3, 5);
+    let labels = |id: u64| match id {
+        1 => "morning-story",
+        2 => "midday-story",
+        3 => "evening-story",
+        _ => "(background)",
+    };
+    for (hour, stream) in day.iter().enumerate() {
+        for key in stream.iter() {
+            window.observe(key);
+        }
+        let top = window.top_k();
+        let leader = top.first().map(|&(k, _)| labels(k.raw())).unwrap_or("-");
+        println!(
+            "after hour {hour}: window covers {:>6} queries, trending: {leader:<14} top3 = {:?}",
+            window.window_occurrences(),
+            top.iter()
+                .take(3)
+                .map(|&(k, est)| format!("{}:{est}", labels(k.raw())))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // The evening story must lead at the end; the morning story must
+    // have expired out of the window.
+    let final_top = window.top_k();
+    assert_eq!(final_top[0].0, ItemKey(3), "evening story should lead");
+    assert!(
+        final_top.iter().all(|&(k, _)| k != ItemKey(1)),
+        "morning story must have expired from the window"
+    );
+    println!("\nwindow expiry works: morning story gone, evening story leads ✓");
+
+    // Iceberg query over the whole day (all epochs concatenated): which
+    // queries exceeded 1% of total traffic?
+    let mut whole_day = Stream::new();
+    for s in &day {
+        whole_day.extend_from(s);
+    }
+    let result = iceberg(&whole_day, 0.01, 0.002, SketchParams::new(7, 4096), 5);
+    println!(
+        "\niceberg(φ=1%) over the whole day (n = {}): {} items above {}",
+        result.n,
+        result.items.len(),
+        result.threshold
+    );
+    for &(key, est) in result.items.iter().take(6) {
+        println!("  {:<15} ~{est}", labels(key.raw()));
+    }
+}

@@ -1,0 +1,366 @@
+//! Implementation of the `fi` command-line tool.
+//!
+//! Lives in the library (rather than the binary) so the parsing and the
+//! text pipeline are unit-testable; `src/bin/fi.rs` is a thin shell.
+//!
+//! ```text
+//! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S] [FILE]
+//!     one-pass APPROXTOP over whitespace-separated items
+//! fi diff [-k N] [-t ROWS] [-b BUCKETS] [--seed S] FILE1 FILE2
+//!     §4.2 max-change between two item files
+//! fi iceberg --phi P [--eps E] [-t ROWS] [-b BUCKETS] [FILE]
+//!     items above a frequency threshold
+//! ```
+
+use crate::prelude::*;
+use crate::sketch::iceberg::IcebergProcessor;
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand: `top`, `diff` or `iceberg`.
+    pub command: String,
+    /// Top-k size.
+    pub k: usize,
+    /// Sketch rows.
+    pub rows: usize,
+    /// Sketch buckets.
+    pub buckets: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Iceberg support threshold φ.
+    pub phi: f64,
+    /// Iceberg slack ε.
+    pub eps: f64,
+    /// Algorithm for `top`: count-sketch (default), space-saving, kps,
+    /// lossy.
+    pub algorithm: String,
+    /// Positional file arguments.
+    pub files: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            command: String::new(),
+            k: 10,
+            rows: 5,
+            buckets: 4096,
+            seed: 1,
+            phi: 0.01,
+            eps: 0.002,
+            algorithm: "count-sketch".into(),
+            files: Vec::new(),
+        }
+    }
+}
+
+/// Parses arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it
+        .next()
+        .ok_or_else(|| "missing subcommand (top | diff | iceberg)".to_string())?
+        .clone();
+    if !matches!(opts.command.as_str(), "top" | "diff" | "iceberg") {
+        return Err(format!("unknown subcommand '{}'", opts.command));
+    }
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-k" => opts.k = flag_value("-k")?.parse().map_err(|e| format!("-k: {e}"))?,
+            "-t" => opts.rows = flag_value("-t")?.parse().map_err(|e| format!("-t: {e}"))?,
+            "-b" => opts.buckets = flag_value("-b")?.parse().map_err(|e| format!("-b: {e}"))?,
+            "--seed" => {
+                opts.seed = flag_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--phi" => {
+                opts.phi = flag_value("--phi")?
+                    .parse()
+                    .map_err(|e| format!("--phi: {e}"))?
+            }
+            "--eps" => {
+                opts.eps = flag_value("--eps")?
+                    .parse()
+                    .map_err(|e| format!("--eps: {e}"))?
+            }
+            "--algorithm" => {
+                opts.algorithm = flag_value("--algorithm")?.clone();
+                if !matches!(
+                    opts.algorithm.as_str(),
+                    "count-sketch" | "space-saving" | "kps" | "lossy"
+                ) {
+                    return Err(format!("unknown algorithm '{}'", opts.algorithm));
+                }
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.k == 0 || opts.rows == 0 || opts.buckets == 0 {
+        return Err("k, rows and buckets must be positive".into());
+    }
+    match opts.command.as_str() {
+        "diff" if opts.files.len() != 2 => Err("diff needs exactly two files".into()),
+        "top" | "iceberg" if opts.files.len() > 1 => {
+            Err("at most one input file (or stdin)".into())
+        }
+        _ => Ok(opts),
+    }
+}
+
+/// Tokenizes input text into a stream of items, remembering each key's
+/// first textual form for display.
+pub fn tokenize(text: &str) -> (Stream, HashMap<ItemKey, String>) {
+    let mut labels = HashMap::new();
+    let stream = text
+        .split_whitespace()
+        .map(|tok| {
+            let key = ItemKey::of(tok);
+            labels.entry(key).or_insert_with(|| tok.to_string());
+            key
+        })
+        .collect();
+    (stream, labels)
+}
+
+fn label(labels: &HashMap<ItemKey, String>, key: ItemKey) -> &str {
+    labels.get(&key).map(String::as_str).unwrap_or("<?>")
+}
+
+/// Runs `fi top` over input text; returns the report.
+pub fn run_top(opts: &Options, text: &str) -> String {
+    use cs_baselines::{KpsFrequent, LossyCounting, SpaceSaving, StreamSummary};
+    let (stream, labels) = tokenize(text);
+    let items: Vec<(ItemKey, i64)> = match opts.algorithm.as_str() {
+        "count-sketch" => {
+            approx_top(
+                &stream,
+                opts.k,
+                SketchParams::new(opts.rows, opts.buckets),
+                opts.seed,
+            )
+            .items
+        }
+        other => {
+            let mut alg: Box<dyn StreamSummary> = match other {
+                "space-saving" => Box::new(SpaceSaving::new(4 * opts.k)),
+                "kps" => Box::new(KpsFrequent::with_capacity(4 * opts.k)),
+                "lossy" => Box::new(LossyCounting::new((1.0 / (4 * opts.k) as f64).min(0.5))),
+                _ => unreachable!("parse_args validates the algorithm"),
+            };
+            alg.process_stream(&stream);
+            alg.candidates()
+                .into_iter()
+                .take(opts.k)
+                .map(|(key, est)| (key, est as i64))
+                .collect()
+        }
+    };
+    let mut out = format!(
+        "# top-{} of {} occurrences ({} distinct seen, algorithm: {})\n",
+        opts.k,
+        stream.len(),
+        labels.len(),
+        opts.algorithm
+    );
+    for (key, est) in &items {
+        out.push_str(&format!("{:>10}  {}\n", est, label(&labels, *key)));
+    }
+    out
+}
+
+/// Runs `fi diff` over two input texts; returns the report.
+pub fn run_diff(opts: &Options, text1: &str, text2: &str) -> String {
+    let (s1, mut labels) = tokenize(text1);
+    let (s2, labels2) = tokenize(text2);
+    labels.extend(labels2);
+    let result = max_change(
+        &s1,
+        &s2,
+        opts.k,
+        4 * opts.k,
+        SketchParams::new(opts.rows, opts.buckets),
+        opts.seed,
+    );
+    let mut out = format!(
+        "# top-{} changes ({} -> {} occurrences)\n",
+        opts.k,
+        s1.len(),
+        s2.len()
+    );
+    for item in &result.items {
+        out.push_str(&format!(
+            "{:>+10}  {}\n",
+            item.exact_change,
+            label(&labels, item.key)
+        ));
+    }
+    out
+}
+
+/// Runs `fi iceberg` over input text; returns the report.
+pub fn run_iceberg(opts: &Options, text: &str) -> String {
+    let (stream, labels) = tokenize(text);
+    let mut p = IcebergProcessor::new(
+        SketchParams::new(opts.rows, opts.buckets),
+        opts.phi,
+        opts.eps,
+        2,
+        opts.seed,
+    );
+    p.observe_stream(&stream);
+    let result = p.result();
+    let mut out = format!(
+        "# items above {:.2}% of {} occurrences (threshold {})\n",
+        opts.phi * 100.0,
+        result.n,
+        result.threshold
+    );
+    for (key, est) in &result.items {
+        out.push_str(&format!("{:>10}  {}\n", est, label(&labels, *key)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_args(&args("top")).unwrap();
+        assert_eq!(o.command, "top");
+        assert_eq!(o.k, 10);
+        assert!(o.files.is_empty());
+    }
+
+    #[test]
+    fn parse_flags_and_files() {
+        let o = parse_args(&args("diff -k 3 -t 7 -b 1024 --seed 9 a.txt b.txt")).unwrap();
+        assert_eq!(o.k, 3);
+        assert_eq!(o.rows, 7);
+        assert_eq!(o.buckets, 1024);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.files, vec!["a.txt", "b.txt"]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("bogus")).is_err());
+        assert!(parse_args(&args("top --wat")).is_err());
+        assert!(parse_args(&args("top -k")).is_err());
+        assert!(parse_args(&args("top -k zero")).is_err());
+        assert!(parse_args(&args("top -k 0")).is_err());
+        assert!(parse_args(&args("diff only-one.txt")).is_err());
+        assert!(parse_args(&args("top a.txt b.txt")).is_err());
+    }
+
+    #[test]
+    fn tokenize_counts_and_labels() {
+        let (stream, labels) = tokenize("a b a\nc a");
+        assert_eq!(stream.len(), 5);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[&ItemKey::of("a")], "a");
+    }
+
+    #[test]
+    fn top_finds_dominant_token() {
+        let opts = Options {
+            command: "top".into(),
+            k: 2,
+            ..Default::default()
+        };
+        let text = "x ".repeat(100) + &"y ".repeat(30) + "z";
+        let report = run_top(&opts, &text);
+        let first_line = report.lines().nth(1).unwrap();
+        assert!(first_line.contains('x'), "{report}");
+        assert!(first_line.trim().starts_with("100"), "{report}");
+    }
+
+    #[test]
+    fn diff_reports_signed_changes() {
+        let opts = Options {
+            command: "diff".into(),
+            k: 2,
+            ..Default::default()
+        };
+        let day1 = "old ".repeat(50) + &"stable ".repeat(20);
+        let day2 = "new ".repeat(60) + &"stable ".repeat(20);
+        let report = run_diff(&opts, &day1, &day2);
+        assert!(report.contains("+60  new"), "{report}");
+        assert!(report.contains("-50  old"), "{report}");
+    }
+
+    #[test]
+    fn iceberg_filters_by_phi() {
+        let opts = Options {
+            command: "iceberg".into(),
+            phi: 0.3,
+            eps: 0.05,
+            ..Default::default()
+        };
+        let text = "big ".repeat(60) + &"small ".repeat(5) + &"mid ".repeat(35);
+        let report = run_iceberg(&opts, &text);
+        assert!(report.contains("big"));
+        assert!(report.contains("mid"));
+        assert!(!report.contains("small"), "{report}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let opts = Options {
+            command: "top".into(),
+            ..Default::default()
+        };
+        let report = run_top(&opts, "");
+        assert!(report.contains("top-10 of 0 occurrences"));
+    }
+}
+
+#[cfg(test)]
+mod algorithm_tests {
+    use super::*;
+
+    #[test]
+    fn parse_algorithm_flag() {
+        let args: Vec<String> = "top --algorithm space-saving"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.algorithm, "space-saving");
+        let bad: Vec<String> = "top --algorithm bogus"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        assert!(parse_args(&bad).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_finds_the_heavy_token() {
+        let text = "hot ".repeat(200) + &"cold ".repeat(10) + "once";
+        for alg in ["count-sketch", "space-saving", "kps", "lossy"] {
+            let opts = Options {
+                command: "top".into(),
+                k: 1,
+                algorithm: alg.into(),
+                ..Default::default()
+            };
+            let report = run_top(&opts, &text);
+            let first = report.lines().nth(1).unwrap_or("");
+            assert!(first.contains("hot"), "{alg}: {report}");
+        }
+    }
+}

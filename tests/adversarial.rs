@@ -1,0 +1,100 @@
+//! Behaviour on the §1 adversarial boundary instance and other
+//! degenerate inputs.
+
+use frequent_items::metrics::recall_at_k;
+use frequent_items::prelude::*;
+use frequent_items::stream::{adversarial_boundary_stream, constant_stream, sequential_stream};
+
+#[test]
+fn boundary_instance_is_solved_by_two_pass_with_large_l() {
+    // §1's hard case: n_k = n_{l+1} + 1. With l large enough to cover all
+    // near-ties plus a second exact pass, the true top-k is recovered.
+    let (k, l, base) = (5usize, 30usize, 200u64);
+    let stream = adversarial_boundary_stream(k, l, base, 42);
+    let exact = ExactCounter::from_stream(&stream);
+    let result = candidate_top_two_pass(&stream, k, l + 5, SketchParams::new(9, 4096), 7);
+    let keys: Vec<ItemKey> = result.top_k.iter().map(|&(key, _)| key).collect();
+    let recall = recall_at_k(&keys, &exact, k);
+    assert_eq!(
+        recall, 1.0,
+        "two-pass with l > #ties must solve the boundary case"
+    );
+}
+
+#[test]
+fn boundary_instance_counts_are_as_constructed() {
+    let (k, l, base) = (3usize, 10usize, 50u64);
+    let stream = adversarial_boundary_stream(k, l, base, 1);
+    let exact = ExactCounter::from_stream(&stream);
+    assert_eq!(exact.nk(k), base + 1);
+    assert_eq!(exact.nk(k + 1), base);
+}
+
+#[test]
+fn constant_stream_single_heavy_hitter() {
+    let stream = constant_stream(5_000);
+    let result = approx_top(&stream, 3, SketchParams::new(5, 64), 0);
+    assert_eq!(result.items.len(), 1, "only one distinct item exists");
+    assert_eq!(result.items[0].0, ItemKey(0));
+    assert_eq!(result.items[0].1, 5_000, "single item is estimated exactly");
+}
+
+#[test]
+fn all_distinct_stream_reports_k_items_each_count_one_ish() {
+    let stream = sequential_stream(10_000);
+    let exact = ExactCounter::from_stream(&stream);
+    let result = approx_top(&stream, 5, SketchParams::new(5, 1024), 3);
+    assert_eq!(result.items.len(), 5);
+    // n_k = 1; the (1-ε) guarantee is vacuous, but no estimate should be
+    // wildly above the 8γ scale: γ = sqrt(10^4/1024) ≈ 3.1.
+    let gamma = frequent_items::stream::moments::gamma(&exact, 5, 1024);
+    for &(_, est) in &result.items {
+        assert!(
+            (est as f64) <= 1.0 + 8.0 * gamma,
+            "estimate {est} above 1 + 8γ = {}",
+            1.0 + 8.0 * gamma
+        );
+    }
+}
+
+#[test]
+fn empty_stream_everywhere() {
+    let stream = Stream::new();
+    let exact = ExactCounter::from_stream(&stream);
+    assert_eq!(exact.total(), 0);
+    let result = approx_top(&stream, 5, SketchParams::new(3, 16), 0);
+    assert!(result.items.is_empty());
+    let two = candidate_top_two_pass(&stream, 2, 4, SketchParams::new(3, 16), 0);
+    assert!(two.top_k.is_empty());
+    let mc = max_change(&stream, &stream, 2, 4, SketchParams::new(3, 16), 0);
+    assert!(mc.items.is_empty());
+}
+
+#[test]
+fn single_occurrence_stream() {
+    let stream = Stream::from_ids([99]);
+    let result = approx_top(&stream, 3, SketchParams::new(3, 16), 1);
+    assert_eq!(result.items, vec![(ItemKey(99), 1)]);
+}
+
+#[test]
+fn duplicate_heavy_ties_all_reported_by_candidates() {
+    // Ten items tied at the top: a candidate list of 10 must hold items
+    // whose counts all equal n_k.
+    let mut ids = Vec::new();
+    for item in 0..10u64 {
+        ids.extend(std::iter::repeat_n(item, 100));
+    }
+    for item in 100..400u64 {
+        ids.push(item);
+    }
+    let stream = Stream::from_ids(ids);
+    let exact = ExactCounter::from_stream(&stream);
+    let result = candidate_top_one_pass(&stream, 10, SketchParams::new(7, 1024), 5);
+    let good = result
+        .keys()
+        .iter()
+        .filter(|&&key| exact.count(key) == 100)
+        .count();
+    assert!(good >= 9, "only {good}/10 candidates are tied-top items");
+}

@@ -1,0 +1,149 @@
+//! Property-based invariants of every baseline algorithm on random
+//! streams — the per-algorithm guarantees from the literature, checked
+//! against the exact oracle for arbitrary inputs (not just Zipf).
+
+use frequent_items::baselines::*;
+use frequent_items::prelude::*;
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..64, 0..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// KPS: never overcounts; undercount bounded by n/(capacity+1); every
+    /// item with count > n/(capacity+1) is retained (Misra–Gries bound).
+    #[test]
+    fn kps_bounds(ids in stream_strategy(), cap in 1usize..20) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = KpsFrequent::with_capacity(cap);
+        alg.process_stream(&stream);
+        let n = stream.len() as u64;
+        let bound = n / (cap as u64 + 1);
+        for (key, est) in alg.candidates() {
+            let truth = exact.count(key);
+            prop_assert!(est <= truth);
+            prop_assert!(truth - est <= bound, "undercount {} > {bound}", truth - est);
+        }
+        for (&key, &count) in exact.counts() {
+            if count > bound {
+                prop_assert!(alg.estimate(key).is_some(),
+                    "item with count {count} > {bound} lost");
+            }
+        }
+    }
+
+    /// Space-Saving: count conservation, over-estimation only, and the
+    /// guaranteed lower bound `count - error <= truth`.
+    #[test]
+    fn space_saving_bounds(ids in stream_strategy(), cap in 1usize..20) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = SpaceSaving::new(cap);
+        alg.process_stream(&stream);
+        let total: u64 = alg.candidates().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, stream.len() as u64, "count conservation");
+        for (key, est) in alg.candidates() {
+            let truth = exact.count(key);
+            prop_assert!(est >= truth, "space-saving must overestimate");
+            let c = alg.counter(key).unwrap();
+            prop_assert!(c.count - c.error <= truth, "lower bound violated");
+        }
+    }
+
+    /// Lossy Counting: undercount at most εn; heavy items retained.
+    #[test]
+    fn lossy_counting_bounds(ids in stream_strategy(), eps_mil in 5u32..200) {
+        let eps = eps_mil as f64 / 1000.0;
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = LossyCounting::new(eps);
+        alg.process_stream(&stream);
+        let bound = (eps * stream.len() as f64).ceil() as u64;
+        for (key, est) in alg.candidates() {
+            let truth = exact.count(key);
+            prop_assert!(est <= truth);
+            prop_assert!(truth - est <= bound);
+        }
+        for (&key, &count) in exact.counts() {
+            if count > bound {
+                prop_assert!(alg.estimate(key).is_some());
+            }
+        }
+    }
+
+    /// Count-Min: never undercounts, for every item in the universe.
+    #[test]
+    fn count_min_one_sided(ids in stream_strategy(), seed: u64) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = CountMinSketch::new(3, 32, 5, seed);
+        alg.process_stream(&stream);
+        for id in 0..64u64 {
+            prop_assert!(alg.point_query(ItemKey(id)) >= exact.count(ItemKey(id)));
+        }
+    }
+
+    /// Sampling with p = 1 is exact counting.
+    #[test]
+    fn sampling_p_one_exact(ids in stream_strategy(), seed: u64) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = SamplingAlgorithm::new(1.0, seed);
+        alg.process_stream(&stream);
+        for (&key, &count) in exact.counts() {
+            prop_assert_eq!(alg.estimate(key), Some(count));
+        }
+    }
+
+    /// Counting samples under capacity: τ stays 1 and counts are exact.
+    #[test]
+    fn counting_samples_under_capacity_exact(ids in prop::collection::vec(0u64..10, 0..200), seed: u64) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = CountingSamples::new(10, 0.9, seed);
+        alg.process_stream(&stream);
+        for (&key, &count) in exact.counts() {
+            prop_assert_eq!(alg.estimate(key), Some(count));
+        }
+    }
+
+    /// Sticky sampling never overcounts.
+    #[test]
+    fn sticky_never_overcounts(ids in stream_strategy(), seed: u64) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let exact = ExactCounter::from_stream(&stream);
+        let mut alg = StickySampling::new(0.1, 0.01, 0.1, seed);
+        alg.process_stream(&stream);
+        for (key, est) in alg.candidates() {
+            prop_assert!(est <= exact.count(key));
+        }
+    }
+
+    /// Every summary's candidate list is sorted non-increasing and its
+    /// space report is consistent with its contents.
+    #[test]
+    fn candidates_sorted_for_all(ids in stream_strategy(), seed: u64) {
+        let stream = Stream::from_ids(ids.iter().copied());
+        let mut algs: Vec<Box<dyn StreamSummary>> = vec![
+            Box::new(SamplingAlgorithm::new(0.5, seed)),
+            Box::new(ConciseSamples::new(16, 0.9, seed)),
+            Box::new(CountingSamples::new(16, 0.9, seed)),
+            Box::new(KpsFrequent::with_capacity(16)),
+            Box::new(LossyCounting::new(0.05)),
+            Box::new(StickySampling::new(0.1, 0.01, 0.1, seed)),
+            Box::new(CountMinSketch::new(3, 32, 8, seed)),
+            Box::new(SpaceSaving::new(16)),
+            Box::new(MultiHashIceberg::new(3, 32, 4, 16, seed)),
+        ];
+        for alg in &mut algs {
+            alg.process_stream(&stream);
+            let c = alg.candidates();
+            prop_assert!(c.windows(2).all(|w| w[0].1 >= w[1].1),
+                "{} candidates unsorted", alg.name());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-algorithm invariants: every algorithm in the suite run on the
+//! same stream, each checked against its own guarantee, all against the
+//! same exact oracle.
+
+use frequent_items::baselines::*;
+use frequent_items::prelude::*;
+
+fn workload() -> (Stream, ExactCounter) {
+    let zipf = Zipf::new(3_000, 1.0);
+    let stream = zipf.stream(80_000, 123, ZipfStreamKind::DeterministicRounded);
+    let exact = ExactCounter::from_stream(&stream);
+    (stream, exact)
+}
+
+#[test]
+fn undercounting_algorithms_never_overcount() {
+    let (stream, exact) = workload();
+    let mut algs: Vec<Box<dyn StreamSummary>> = vec![
+        Box::new(KpsFrequent::with_capacity(200)),
+        Box::new(LossyCounting::new(0.002)),
+        Box::new(StickySampling::new(0.02, 0.002, 0.1, 1)),
+    ];
+    for alg in &mut algs {
+        alg.process_stream(&stream);
+        for (key, est) in alg.candidates() {
+            assert!(
+                est <= exact.count(key),
+                "{} overcounted {key:?}: {est} > {}",
+                alg.name(),
+                exact.count(key)
+            );
+        }
+    }
+}
+
+#[test]
+fn overcounting_algorithms_never_undercount() {
+    let (stream, exact) = workload();
+    let mut ss = SpaceSaving::new(200);
+    ss.process_stream(&stream);
+    for (key, est) in ss.candidates() {
+        assert!(est >= exact.count(key), "space-saving undercounted");
+    }
+    let mut cm = CountMinSketch::new(5, 512, 20, 2);
+    cm.process_stream(&stream);
+    for id in 0..3_000u64 {
+        assert!(
+            cm.point_query(ItemKey(id)) >= exact.count(ItemKey(id)),
+            "count-min undercounted item {id}"
+        );
+    }
+}
+
+#[test]
+fn count_sketch_is_empirically_unbiased() {
+    // Mean signed error across seeds on a mid-rank item ≈ 0, unlike
+    // Count-Min whose error is strictly positive.
+    let (stream, exact) = workload();
+    let probe = ItemKey(50);
+    let truth = exact.count(probe) as f64;
+    let trials = 30;
+    let mut cs_err_sum = 0.0;
+    let mut cm_err_sum = 0.0;
+    for seed in 0..trials {
+        let mut cs = CountSketch::new(SketchParams::new(5, 256), seed);
+        cs.absorb(&stream, 1);
+        cs_err_sum += cs.estimate(probe) as f64 - truth;
+        let mut cm = CountMinSketch::new(5, 256, 5, seed);
+        cm.process_stream(&stream);
+        cm_err_sum += cm.point_query(probe) as f64 - truth;
+    }
+    let cs_bias = cs_err_sum / trials as f64;
+    let cm_bias = cm_err_sum / trials as f64;
+    assert!(cm_bias > 0.0, "count-min must be positively biased");
+    assert!(
+        cs_bias.abs() < cm_bias,
+        "count-sketch |bias| {cs_bias} should be below count-min bias {cm_bias}"
+    );
+}
+
+#[test]
+fn every_algorithm_finds_the_dominant_item() {
+    let (stream, _) = workload();
+    let top = ItemKey(0);
+    let mut algs: Vec<Box<dyn StreamSummary>> = vec![
+        Box::new(SamplingAlgorithm::new(0.01, 1)),
+        Box::new(ConciseSamples::new(300, 0.9, 2)),
+        Box::new(CountingSamples::new(300, 0.9, 3)),
+        Box::new(KpsFrequent::with_capacity(300)),
+        Box::new(LossyCounting::new(0.002)),
+        Box::new(StickySampling::new(0.02, 0.002, 0.1, 4)),
+        Box::new(CountMinSketch::new(5, 512, 10, 5)),
+        Box::new(SpaceSaving::new(300)),
+    ];
+    for alg in &mut algs {
+        alg.process_stream(&stream);
+        assert!(
+            alg.top_k_keys(5).contains(&top),
+            "{} missed the dominant item",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn space_bytes_reported_by_all() {
+    let (stream, _) = workload();
+    let mut algs: Vec<Box<dyn StreamSummary>> = vec![
+        Box::new(SamplingAlgorithm::new(0.01, 1)),
+        Box::new(KpsFrequent::with_capacity(100)),
+        Box::new(LossyCounting::new(0.01)),
+        Box::new(SpaceSaving::new(100)),
+        Box::new(CountMinSketch::new(3, 128, 10, 0)),
+    ];
+    for alg in &mut algs {
+        alg.process_stream(&stream);
+        assert!(alg.space_bytes() > 0, "{} reports zero space", alg.name());
+    }
+}
+
+#[test]
+fn trait_objects_compose_with_metrics() {
+    use frequent_items::metrics::recall_at_k;
+    let (stream, exact) = workload();
+    let mut alg: Box<dyn StreamSummary> = Box::new(SpaceSaving::new(400));
+    alg.process_stream(&stream);
+    let recall = recall_at_k(&alg.top_k_keys(10), &exact, 10);
+    assert!(recall >= 0.9, "space-saving recall {recall}");
+}

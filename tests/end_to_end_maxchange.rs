@@ -1,0 +1,109 @@
+//! End-to-end §4.2 max-change pipeline, including the sketch-storage
+//! scenario (serialize day-1 sketch, deserialize next day, subtract).
+
+use frequent_items::prelude::*;
+use frequent_items::stream::{ChangeSpec, StreamPair};
+
+fn pair() -> StreamPair {
+    StreamPair::zipf_background(
+        2_000,
+        1.0,
+        50_000,
+        vec![
+            ChangeSpec {
+                item: 900_000,
+                count_s1: 0,
+                count_s2: 6_000,
+            },
+            ChangeSpec {
+                item: 900_001,
+                count_s1: 5_000,
+                count_s2: 0,
+            },
+            ChangeSpec {
+                item: 900_002,
+                count_s1: 500,
+                count_s2: 4_000,
+            },
+        ],
+        77,
+    )
+}
+
+#[test]
+fn two_pass_finds_planted_changes_in_order() {
+    let p = pair();
+    let result = max_change(&p.s1, &p.s2, 3, 12, SketchParams::new(7, 2048), 5);
+    let got: Vec<u64> = result.items.iter().map(|c| c.key.raw()).collect();
+    assert_eq!(got, vec![900_000, 900_001, 900_002]);
+    assert_eq!(result.items[0].exact_change, 6_000);
+    assert_eq!(result.items[1].exact_change, -5_000);
+    assert_eq!(result.items[2].exact_change, 3_500);
+}
+
+#[test]
+fn matches_exact_diff_oracle() {
+    let p = pair();
+    let e1 = ExactCounter::from_stream(&p.s1);
+    let e2 = ExactCounter::from_stream(&p.s2);
+    let oracle: Vec<ItemKey> = ExactCounter::top_k_change(&e1, &e2, 3)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let result = max_change(&p.s1, &p.s2, 3, 12, SketchParams::new(7, 2048), 9);
+    let got: Vec<ItemKey> = result.items.iter().map(|c| c.key).collect();
+    assert_eq!(got, oracle);
+}
+
+#[test]
+fn serialized_sketches_subtract_across_sessions() {
+    // Day 1: sketch the stream and serialize (as a monitoring system
+    // would persist it).
+    let p = pair();
+    let params = SketchParams::new(7, 1024);
+    let mut day1 = CountSketch::new(params, 42);
+    day1.absorb(&p.s1, 1);
+    let stored = serde_json::to_vec(&day1).expect("serialize");
+
+    // Day 2 (fresh session): deserialize and subtract from today's
+    // sketch. Works because the hash functions travel with the sketch.
+    let day1_restored: CountSketch = serde_json::from_slice(&stored).expect("deserialize");
+    let mut day2 = CountSketch::new(params, 42);
+    day2.absorb(&p.s2, 1);
+    let diff = DiffSketch::from_sketches(&day1_restored, &day2).unwrap();
+
+    let result = diff.top_changes(&p.s1, &p.s2, 3, 12);
+    let got: Vec<u64> = result.items.iter().map(|c| c.key.raw()).collect();
+    assert_eq!(got, vec![900_000, 900_001, 900_002]);
+}
+
+#[test]
+fn estimated_changes_track_exact_changes() {
+    let p = pair();
+    let result = max_change(&p.s1, &p.s2, 3, 12, SketchParams::new(9, 4096), 31);
+    for item in &result.items {
+        let err = (item.estimated_change - item.exact_change).abs();
+        assert!(
+            err <= 600,
+            "estimate {} vs exact {} for {:?}",
+            item.estimated_change,
+            item.exact_change,
+            item.key
+        );
+    }
+}
+
+#[test]
+fn background_only_pair_reports_small_changes() {
+    // No planted items: every reported |change| is sampling noise, far
+    // below what a planted trend would produce.
+    let p = StreamPair::zipf_background(2_000, 1.0, 50_000, vec![], 3);
+    let result = max_change(&p.s1, &p.s2, 5, 20, SketchParams::new(7, 2048), 2);
+    for item in &result.items {
+        assert!(
+            item.exact_change.abs() < 2_000,
+            "background change {} suspiciously large",
+            item.exact_change
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's quantitative guarantees, checked end-to-end: Lemma 4's
+//! `8γ` estimate bound and Theorem 1's space accounting.
+
+use frequent_items::prelude::*;
+use frequent_items::stream::moments;
+
+#[test]
+fn lemma4_error_bound_holds_across_z_and_b() {
+    // For each (z, b): with t = 11 rows, the estimate error on every
+    // top-k item must stay within 8γ (γ = sqrt(F2res(k)/b), eq. 5).
+    let (m, n, k) = (3_000usize, 60_000usize, 10usize);
+    for z in [0.75, 1.0, 1.25] {
+        let zipf = Zipf::new(m, z);
+        let stream = zipf.stream(n, 0x9A, ZipfStreamKind::DeterministicRounded);
+        let exact = ExactCounter::from_stream(&stream);
+        for b in [256usize, 1024, 4096] {
+            let gamma = moments::gamma(&exact, k, b);
+            let mut sketch = CountSketch::new(SketchParams::new(11, b), 0xB0B);
+            sketch.absorb(&stream, 1);
+            for rank in 0..k as u64 {
+                let truth = exact.count(ItemKey(rank)) as i64;
+                let est = sketch.estimate(ItemKey(rank));
+                assert!(
+                    ((est - truth).abs() as f64) <= 8.0 * gamma,
+                    "z={z} b={b} rank={rank}: |{est} - {truth}| > 8γ = {:.1}",
+                    8.0 * gamma
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn error_scales_as_inverse_sqrt_b() {
+    // Quadrupling b should roughly halve the mean error (γ ∝ 1/√b).
+    let zipf = Zipf::new(3_000, 1.0);
+    let stream = zipf.stream(60_000, 3, ZipfStreamKind::DeterministicRounded);
+    let exact = ExactCounter::from_stream(&stream);
+    let mean_err = |b: usize| -> f64 {
+        let mut total = 0.0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut s = CountSketch::new(SketchParams::new(5, b), seed);
+            s.absorb(&stream, 1);
+            for rank in 0..10u64 {
+                let truth = exact.count(ItemKey(rank)) as i64;
+                total += (s.estimate(ItemKey(rank)) - truth).abs() as f64;
+            }
+        }
+        total / (trials as f64 * 10.0)
+    };
+    let e256 = mean_err(256);
+    let e4096 = mean_err(4096);
+    // 16x buckets ⇒ ~4x smaller error; accept anything ≥ 2x.
+    assert!(
+        e4096 * 2.0 <= e256,
+        "error didn't shrink with b: {e256} -> {e4096}"
+    );
+}
+
+#[test]
+fn theorem1_space_is_counters_plus_heap() {
+    // O(tb + k): the reported space must match t·b counters (8 bytes
+    // each) plus O(k) heap entries plus the O(t) hash descriptions.
+    let (t, b, k) = (7usize, 1024usize, 50usize);
+    let stream = Zipf::new(1_000, 1.0).stream(10_000, 1, ZipfStreamKind::Sampled);
+    let result = approx_top(&stream, k, SketchParams::new(t, b), 2);
+    let counters = t * b * 8;
+    assert!(result.space_bytes >= counters);
+    // Generous upper bound: counters + 1KiB/row of hash state + 200B/item.
+    assert!(
+        result.space_bytes <= counters + t * 1024 + k * 200,
+        "space {} far above the O(tb + k) accounting",
+        result.space_bytes
+    );
+}
+
+#[test]
+fn rows_practical_achieves_low_failure_rate() {
+    // With t = rows_practical(n, δ), the fraction of per-item failures
+    // (error > 8γ) measured across items and seeds should be ≪ δ-ish.
+    let zipf = Zipf::new(2_000, 1.0);
+    let stream = zipf.stream(40_000, 7, ZipfStreamKind::DeterministicRounded);
+    let exact = ExactCounter::from_stream(&stream);
+    let b = 1024;
+    let k = 10;
+    let gamma = moments::gamma(&exact, k, b);
+    let t = SketchParams::rows_practical(stream.len() as u64, 0.05);
+    let mut failures = 0usize;
+    let mut probes = 0usize;
+    for seed in 0..5u64 {
+        let mut s = CountSketch::new(SketchParams::new(t, b), seed);
+        s.absorb(&stream, 1);
+        for rank in 0..200u64 {
+            let truth = exact.count(ItemKey(rank)) as i64;
+            if ((s.estimate(ItemKey(rank)) - truth).abs() as f64) > 8.0 * gamma {
+                failures += 1;
+            }
+            probes += 1;
+        }
+    }
+    let rate = failures as f64 / probes as f64;
+    assert!(rate <= 0.01, "failure rate {rate} too high for t = {t}");
+}
+
+#[test]
+fn buckets_formula_monotonicity() {
+    // Lemma 5's b grows with the residual F2 and shrinks with ε and n_k.
+    let b0 = SketchParams::buckets_for_approx_top(10, 1e6, 100, 0.25);
+    assert!(SketchParams::buckets_for_approx_top(10, 2e6, 100, 0.25) >= b0);
+    assert!(SketchParams::buckets_for_approx_top(10, 1e6, 200, 0.25) <= b0);
+    assert!(SketchParams::buckets_for_approx_top(10, 1e6, 100, 0.5) <= b0);
+}

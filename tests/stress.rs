@@ -1,0 +1,79 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored`). These exercise the same code
+//! paths as the regular suite at the paper's experiment scale
+//! (n = 10⁷), catching issues the small tests cannot: counter growth,
+//! allocation behaviour, numeric headroom.
+
+use frequent_items::metrics::recall_at_k;
+use frequent_items::prelude::*;
+use frequent_items::stream::moments;
+
+#[test]
+#[ignore = "large: ~10s in release"]
+fn ten_million_occurrences_top_k() {
+    let zipf = Zipf::new(1_000_000, 1.0);
+    let stream = zipf.stream(10_000_000, 1, ZipfStreamKind::Sampled);
+    let exact = ExactCounter::from_stream(&stream);
+    let k = 50;
+    let result = approx_top(&stream, k, SketchParams::new(7, 1 << 14), 2);
+    let recall = recall_at_k(&result.keys(), &exact, k);
+    assert!(recall >= 0.9, "recall at 10M scale: {recall}");
+}
+
+#[test]
+#[ignore = "large: ~10s in release"]
+fn lemma4_bound_at_scale() {
+    let zipf = Zipf::new(500_000, 1.0);
+    let stream = zipf.stream(10_000_000, 3, ZipfStreamKind::DeterministicRounded);
+    let exact = ExactCounter::from_stream(&stream);
+    let (k, b) = (50, 1 << 13);
+    let gamma = moments::gamma(&exact, k, b);
+    let mut sketch = CountSketch::new(SketchParams::new(11, b), 5);
+    sketch.absorb(&stream, 1);
+    for rank in 0..k as u64 {
+        let truth = exact.count(ItemKey(rank)) as i64;
+        let est = sketch.estimate(ItemKey(rank));
+        assert!(
+            ((est - truth).abs() as f64) <= 8.0 * gamma,
+            "rank {rank}: |{est} - {truth}| > 8γ"
+        );
+    }
+}
+
+#[test]
+#[ignore = "large: ~20s in release"]
+fn max_change_at_scale() {
+    use frequent_items::stream::{ChangeSpec, StreamPair};
+    let pair = StreamPair::zipf_background(
+        200_000,
+        1.0,
+        4_000_000,
+        (0..20)
+            .map(|i| ChangeSpec {
+                item: 10_000_000 + i,
+                count_s1: if i % 2 == 0 { 0 } else { 40_000 },
+                count_s2: if i % 2 == 0 { 40_000 } else { 0 },
+            })
+            .collect(),
+        9,
+    );
+    let result = max_change(&pair.s1, &pair.s2, 20, 80, SketchParams::new(7, 1 << 13), 4);
+    let planted_found = result
+        .items
+        .iter()
+        .filter(|c| c.key.raw() >= 10_000_000)
+        .count();
+    assert_eq!(planted_found, 20, "all planted changers recovered at scale");
+}
+
+#[test]
+#[ignore = "large: counter headroom at extreme weights"]
+fn counter_headroom_with_large_weights() {
+    // 10^6 updates of weight 10^6: counters reach ±10^12, far inside
+    // i64; estimates stay exact for a lone item.
+    let mut s = CountSketch::new(SketchParams::new(5, 64), 1);
+    for _ in 0..1_000_000 {
+        s.update(ItemKey(1), 1_000_000);
+    }
+    assert_eq!(s.estimate(ItemKey(1)), 1_000_000_000_000);
+}

@@ -1,0 +1,99 @@
+//! Turnstile-model integration: the linear sketch under insert/delete
+//! workloads, and §4.2 expressed as a single turnstile stream.
+
+use frequent_items::prelude::*;
+use frequent_items::sketch::hierarchical::HierarchicalCountSketch;
+use frequent_items::stream::turnstile::{strict_turnstile_from, TurnstileStream};
+
+#[test]
+fn sketch_tracks_exact_signed_counts_on_strict_workload() {
+    let zipf = Zipf::new(500, 1.0);
+    let base = zipf.stream(30_000, 3, ZipfStreamKind::DeterministicRounded);
+    let t = strict_turnstile_from(&base, 0.6, 7);
+    let mut sketch = CountSketch::new(SketchParams::new(7, 2048), 5);
+    sketch.absorb_turnstile(&t);
+    let exact = t.exact_counts();
+    // Top items' final counts (after deletions) must be estimated well.
+    for rank in 0..10u64 {
+        let truth = exact.get(&ItemKey(rank)).copied().unwrap_or(0);
+        let est = sketch.estimate(ItemKey(rank));
+        assert!(
+            (est - truth).abs() <= truth / 5 + 30,
+            "rank {rank}: est {est} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn difference_stream_equals_two_phase_absorption() {
+    let zipf = Zipf::new(200, 1.0);
+    let s1 = zipf.stream(5_000, 1, ZipfStreamKind::Sampled);
+    let s2 = zipf.stream(5_000, 2, ZipfStreamKind::Sampled);
+    let params = SketchParams::new(5, 256);
+
+    let mut via_turnstile = CountSketch::new(params, 9);
+    via_turnstile.absorb_turnstile(&TurnstileStream::difference(&s1, &s2));
+
+    let mut via_phases = CountSketch::new(params, 9);
+    via_phases.absorb(&s1, -1);
+    via_phases.absorb(&s2, 1);
+
+    assert_eq!(via_turnstile.counters(), via_phases.counters());
+}
+
+#[test]
+fn turnstile_top_k_recovered_by_hierarchy() {
+    // Build a strict turnstile stream whose post-deletion heavy hitters
+    // differ from the insert-time ones, and recover them from the
+    // hierarchy alone.
+    let mut t = TurnstileStream::new();
+    // Item 1: inserted a lot, then mostly deleted.
+    for _ in 0..5_000 {
+        t.push(ItemKey(1), 1);
+    }
+    for _ in 0..4_900 {
+        t.push(ItemKey(1), -1);
+    }
+    // Item 2: modest but undeleted.
+    for _ in 0..2_000 {
+        t.push(ItemKey(2), 1);
+    }
+    // Background.
+    for i in 100..600u64 {
+        t.push(ItemKey(i), 1);
+    }
+    assert!(t.is_strict());
+
+    let mut h = HierarchicalCountSketch::new(12, SketchParams::new(7, 512), 3);
+    for u in t.iter() {
+        h.update(u.key, u.delta);
+    }
+    let heavy = h.heavy_items(1_000, 3);
+    // By surviving mass, item 2 (2000) dominates item 1 (100).
+    assert_eq!(heavy[0].key, ItemKey(2));
+    assert!(
+        heavy.iter().all(|x| x.key != ItemKey(1)),
+        "mostly-deleted item must not appear by final count: {heavy:?}"
+    );
+
+    let oracle = t.top_k_by_magnitude(1);
+    assert_eq!(oracle[0].0, ItemKey(2));
+}
+
+#[test]
+fn weighted_updates_match_repeated_units() {
+    let params = SketchParams::new(5, 128);
+    let mut units = CountSketch::new(params, 4);
+    let mut t_units = TurnstileStream::new();
+    for _ in 0..37 {
+        t_units.push(ItemKey(5), 1);
+    }
+    units.absorb_turnstile(&t_units);
+
+    let mut weighted = CountSketch::new(params, 4);
+    let mut t_weighted = TurnstileStream::new();
+    t_weighted.push(ItemKey(5), 37);
+    weighted.absorb_turnstile(&t_weighted);
+
+    assert_eq!(units.counters(), weighted.counters());
+}
