@@ -1,12 +1,10 @@
 //! Experiment scale presets.
 
-use serde::{Deserialize, Serialize};
-
 /// Workload scale shared by all experiments.
 ///
 /// `full()` is the scale EXPERIMENTS.md reports; `small()` keeps the same
 /// code paths fast enough to run inside `cargo test`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Stream length `n`.
     pub n: usize,

@@ -16,10 +16,9 @@ use crate::sketch::{CountSketch, EstimateScratch, GenericCountSketch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 
 /// How the heap is maintained as items arrive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HeapPolicy {
     /// The paper's rule: tracked items are *incremented*; only untracked
     /// arrivals are re-estimated. One sketch probe per untracked arrival.
@@ -31,7 +30,7 @@ pub enum HeapPolicy {
 }
 
 /// Result of a one-pass APPROXTOP run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApproxTopResult {
     /// The reported items with their estimated counts, non-increasing.
     pub items: Vec<(ItemKey, i64)>,
@@ -133,6 +132,27 @@ where
     /// Read access to the tracker.
     pub fn tracker(&self) -> &TopKTracker {
         &self.tracker
+    }
+
+    /// The active heap policy.
+    pub fn policy(&self) -> HeapPolicy {
+        self.policy
+    }
+
+    /// Reassembles a processor from persisted state — used by the
+    /// snapshot codec. The scratch buffers are transient and rebuilt
+    /// empty.
+    pub(crate) fn from_parts(
+        sketch: GenericCountSketch<H, S>,
+        tracker: TopKTracker,
+        policy: HeapPolicy,
+    ) -> Self {
+        Self {
+            sketch,
+            tracker,
+            policy,
+            scratch: EstimateScratch::new(),
+        }
     }
 }
 

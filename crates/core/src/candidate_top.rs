@@ -16,11 +16,10 @@ use crate::approx_top::{ApproxTopProcessor, ApproxTopResult};
 use crate::params::SketchParams;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Result of the two-pass CANDIDATETOP run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateTopResult {
     /// The `l` candidates from pass 1, by estimate (non-increasing).
     pub candidates: Vec<(ItemKey, i64)>,

@@ -9,18 +9,17 @@
 //!
 //! [`SharedCountSketch`] additionally offers a lock-based concurrent
 //! handle for pipelines where partitioning is awkward (items arrive on
-//! many threads): per-row striped `parking_lot` mutexes, writers lock one
-//! stripe per row update.
+//! many threads): per-row striped mutexes, writers lock one stripe per
+//! row update.
 
 use crate::params::SketchParams;
 use crate::sketch::CountSketch;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Sketches a stream by fanning chunks out to `threads` worker threads
-/// (crossbeam scoped threads), then merging the per-thread sketches.
+/// Sketches a stream by fanning chunks out to `threads` scoped worker
+/// threads, then merging the per-thread sketches.
 ///
 /// Deterministic: the result equals the sequential sketch of the same
 /// stream with the same `(params, seed)`.
@@ -37,11 +36,11 @@ pub fn sketch_stream_parallel(
         return s;
     }
     let chunks = stream.chunks(threads);
-    let mut partials: Vec<CountSketch> = crossbeam::scope(|scope| {
+    let mut partials: Vec<CountSketch> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = CountSketch::new(params, seed);
                     local.absorb(chunk, 1);
                     local
@@ -52,8 +51,7 @@ pub fn sketch_stream_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut merged = partials.pop().expect("at least one chunk");
     for p in &partials {
@@ -110,8 +108,10 @@ impl SharedCountSketch {
         // path allocation-free we inline the loop over rows using the
         // template's hashers through `row_cells`.
         for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
-            let mut row = self.inner.rows[i].lock();
-            row[bucket] += sign * weight;
+            let mut row = self.inner.rows[i].lock().expect("row lock poisoned");
+            // Saturating like the plain sketch's update: a shared counter
+            // must clamp, not wrap, at the i64 limits.
+            row[bucket] = row[bucket].saturating_add(sign.saturating_mul(weight));
         }
     }
 
@@ -121,7 +121,7 @@ impl SharedCountSketch {
     pub fn estimate(&self, key: ItemKey) -> i64 {
         let mut rows_est = Vec::with_capacity(self.inner.rows.len());
         for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
-            let row = self.inner.rows[i].lock();
+            let row = self.inner.rows[i].lock().expect("row lock poisoned");
             rows_est.push(sign * row[bucket]);
         }
         let mut scratch = Vec::with_capacity(rows_est.len());
@@ -133,7 +133,7 @@ impl SharedCountSketch {
         let mut s = self.inner.template.clone();
         let buckets = s.buckets();
         for (i, row) in self.inner.rows.iter().enumerate() {
-            let row = row.lock();
+            let row = row.lock().expect("row lock poisoned");
             s.counters_mut()[i * buckets..(i + 1) * buckets].copy_from_slice(&row);
         }
         s
@@ -194,17 +194,16 @@ mod tests {
         let zipf = Zipf::new(50, 1.0);
         let stream = zipf.stream(20_000, 2, ZipfStreamKind::Sampled);
         let chunks = stream.chunks(4);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in &chunks {
                 let handle = shared.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for key in chunk.iter() {
                         handle.add(key);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut plain = CountSketch::new(params, 11);
         plain.absorb(&stream, 1);
         assert_eq!(shared.snapshot().counters(), plain.counters());

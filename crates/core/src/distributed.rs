@@ -10,8 +10,16 @@
 //!
 //! [`DistributedSketch`] is deliberately a thin, explicit state machine
 //! (register sites → collect → query) rather than a network layer: the
-//! wire transfer is whatever serialization the deployment uses (the
-//! sketches are `serde`-serializable).
+//! wire transfer is whatever transport the deployment uses, carrying the
+//! checksummed snapshot bytes of [`crate::snapshot`].
+//!
+//! Production collection runs through [`QuorumCoordinator`], which
+//! survives what the strict [`DistributedSketch::coordinate`] cannot: a
+//! corrupted, truncated, incompatible, or straggling site is *excluded*
+//! (after a deterministic, tick-driven retry schedule — no wall-clock, so
+//! tests are reproducible) rather than failing the whole merge, and the
+//! final [`MergeReport`] states exactly which sites are missing and how
+//! far the error bound widened as a result.
 
 use crate::error::CoreError;
 use crate::params::SketchParams;
@@ -19,12 +27,11 @@ use crate::sketch::CountSketch;
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 
 /// One site's contribution: its local sketch plus the local candidate
 /// keys (each site nominates its own top-l; the union is the global
 /// candidate set — a standard two-round heavy-hitter protocol).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteReport {
     /// The site's sketch of its local stream.
     pub sketch: CountSketch,
@@ -47,7 +54,7 @@ pub fn site_report(stream: &Stream, l: usize, params: SketchParams, seed: u64) -
 }
 
 /// The coordinator: merges site reports and answers global queries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DistributedSketch {
     merged: CountSketch,
     candidates: Vec<ItemKey>,
@@ -110,6 +117,373 @@ impl DistributedSketch {
     /// the communication cost the paper's space bound governs.
     pub fn per_site_bytes(report: &SiteReport) -> usize {
         report.sketch.space_bytes() + report.candidates.len() * std::mem::size_of::<ItemKey>()
+    }
+}
+
+/// Deterministic retry schedule for straggling sites, driven by logical
+/// ticks instead of wall-clock time so every test run is reproducible.
+///
+/// Attempt `a` (zero-based) that fails is retried after
+/// `min(base_backoff_ticks · multiplier^a, max_backoff_ticks)` further
+/// ticks; after `max_attempts` failed attempts the site is given up on
+/// and excluded as a straggler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delivery attempts before a site is excluded.
+    pub max_attempts: u32,
+    /// Ticks to wait after the first failed attempt.
+    pub base_backoff_ticks: u64,
+    /// Exponential growth factor between attempts.
+    pub multiplier: u64,
+    /// Ceiling on any single backoff interval.
+    pub max_backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ticks: 1,
+            multiplier: 2,
+            max_backoff_ticks: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after failed attempt `attempt` (zero-based), or `None`
+    /// once the attempt budget is exhausted.
+    pub fn backoff_ticks(&self, attempt: u32) -> Option<u64> {
+        if attempt + 1 >= self.max_attempts {
+            return None;
+        }
+        let factor = self.multiplier.saturating_pow(attempt);
+        Some(
+            self.base_backoff_ticks
+                .saturating_mul(factor)
+                .min(self.max_backoff_ticks),
+        )
+    }
+
+    /// The full schedule of backoff intervals, for inspection.
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.max_attempts)
+            .map_while(|a| self.backoff_ticks(a))
+            .collect()
+    }
+}
+
+/// Why a site's contribution was left out of a quorum merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExclusionReason {
+    /// Snapshot bytes failed validation (checksum, structure, or a merge
+    /// that would saturate a counter).
+    Corrupt(CoreError),
+    /// Report was shaped correctly but incompatible with the expected
+    /// `(params, seed)` configuration.
+    Incompatible(CoreError),
+    /// The site never delivered within the retry budget.
+    Straggler {
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ExclusionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExclusionReason::Corrupt(e) => write!(f, "corrupt report: {e}"),
+            ExclusionReason::Incompatible(e) => write!(f, "incompatible report: {e}"),
+            ExclusionReason::Straggler { attempts } => {
+                write!(f, "no response after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+/// Degradation report of a quorum merge: what was merged, what was not,
+/// and what that does to the guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// Sites the coordinator expected to hear from.
+    pub total_sites: usize,
+    /// Site indices whose reports were validated and merged.
+    pub included: Vec<usize>,
+    /// Excluded sites with the reason each was dropped.
+    pub excluded: Vec<(usize, ExclusionReason)>,
+    /// Occurrences covered by the included sites.
+    pub covered_n: u64,
+    /// Ticks elapsed when the merge was finalized.
+    pub finalized_at_tick: u64,
+}
+
+impl MergeReport {
+    /// Fraction of sites whose mass the merged sketch covers.
+    pub fn coverage(&self) -> f64 {
+        if self.total_sites == 0 {
+            return 0.0;
+        }
+        self.included.len() as f64 / self.total_sites as f64
+    }
+
+    /// Worst-case factor by which the `8γ = 8·√(F₂^res(b))/b`-style error
+    /// bound widens: the missing sites' mass is simply absent from the
+    /// merged counters, so an estimate can be off by up to the full count
+    /// an item had on the excluded sites. Under balanced sharding that is
+    /// a `total/included` multiplicative widening of the bound; with no
+    /// included sites the bound is vacuous (`+∞`).
+    pub fn error_bound_widening(&self) -> f64 {
+        if self.included.is_empty() {
+            f64::INFINITY
+        } else {
+            self.total_sites as f64 / self.included.len() as f64
+        }
+    }
+
+    /// Whether every expected site was merged.
+    pub fn is_complete(&self) -> bool {
+        self.included.len() == self.total_sites
+    }
+}
+
+/// Outcome of a successful quorum merge: the queryable coordinator plus
+/// the degradation report.
+#[derive(Debug, Clone)]
+pub struct QuorumOutcome {
+    /// The merged, queryable global sketch.
+    pub sketch: DistributedSketch,
+    /// Which sites made it in, and the widened error bound.
+    pub report: MergeReport,
+}
+
+#[derive(Debug, Clone)]
+enum SlotState {
+    Waiting { attempt: u32, retry_at_tick: u64 },
+    Accepted(Box<SiteReport>),
+    Excluded(ExclusionReason),
+}
+
+/// Fault-tolerant collection of site reports.
+///
+/// Usage is a tick-driven loop: the driver asks [`due_sites`] which
+/// sites to (re-)request, delivers whatever comes back via
+/// [`deliver_snapshot`] / [`deliver_report`] / [`deliver_failed`], and
+/// advances logical time with [`advance_tick`]. Once
+/// [`pending_sites`] is empty (every site accepted or excluded) —
+/// or the driver decides to stop waiting — [`finalize`] merges the
+/// accepted reports if they meet the quorum.
+///
+/// [`due_sites`]: QuorumCoordinator::due_sites
+/// [`deliver_snapshot`]: QuorumCoordinator::deliver_snapshot
+/// [`deliver_report`]: QuorumCoordinator::deliver_report
+/// [`deliver_failed`]: QuorumCoordinator::deliver_failed
+/// [`advance_tick`]: QuorumCoordinator::advance_tick
+/// [`pending_sites`]: QuorumCoordinator::pending_sites
+/// [`finalize`]: QuorumCoordinator::finalize
+#[derive(Debug, Clone)]
+pub struct QuorumCoordinator {
+    /// Empty sketch with the expected `(params, seed)`; every delivered
+    /// report is validated against it.
+    reference: CountSketch,
+    quorum: usize,
+    policy: RetryPolicy,
+    tick: u64,
+    slots: Vec<SlotState>,
+}
+
+impl QuorumCoordinator {
+    /// Creates a coordinator expecting `num_sites` reports sketched with
+    /// `(params, seed)`, requiring at least `quorum` of them.
+    pub fn new(
+        num_sites: usize,
+        quorum: usize,
+        params: SketchParams,
+        seed: u64,
+        policy: RetryPolicy,
+    ) -> Result<Self, CoreError> {
+        if num_sites == 0 {
+            return Err(CoreError::InvalidParameter("need at least one site".into()));
+        }
+        if quorum == 0 || quorum > num_sites {
+            return Err(CoreError::InvalidParameter(format!(
+                "quorum {quorum} not in 1..={num_sites}"
+            )));
+        }
+        Ok(Self {
+            reference: CountSketch::new(params, seed),
+            quorum,
+            policy,
+            tick: 0,
+            slots: vec![
+                SlotState::Waiting {
+                    attempt: 0,
+                    retry_at_tick: 0,
+                };
+                num_sites
+            ],
+        })
+    }
+
+    /// Current logical time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances logical time by one tick.
+    pub fn advance_tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Sites whose (re-)request is due at the current tick.
+    pub fn due_sites(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                SlotState::Waiting { retry_at_tick, .. } if *retry_at_tick <= self.tick => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Sites still awaited (neither accepted nor excluded).
+    pub fn pending_sites(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, SlotState::Waiting { .. }).then_some(i))
+            .collect()
+    }
+
+    fn slot_mut(&mut self, site: usize) -> Result<&mut SlotState, CoreError> {
+        let n = self.slots.len();
+        self.slots
+            .get_mut(site)
+            .ok_or_else(|| CoreError::InvalidParameter(format!("site {site} out of 0..{n}")))
+    }
+
+    /// Delivers a site's report as snapshot bytes (the wire form). The
+    /// bytes are checksum-verified and the decoded sketch validated for
+    /// dimension/seed compatibility; a bad payload permanently excludes
+    /// the site with the typed reason, it does not error the coordinator.
+    pub fn deliver_snapshot(
+        &mut self,
+        site: usize,
+        snapshot_bytes: &[u8],
+        candidates: Vec<ItemKey>,
+        local_n: u64,
+    ) -> Result<(), CoreError> {
+        match CountSketch::from_snapshot_bytes(snapshot_bytes) {
+            Ok(sketch) => self.deliver_report(
+                site,
+                SiteReport {
+                    sketch,
+                    candidates,
+                    local_n,
+                },
+            ),
+            Err(e) => {
+                let slot = self.slot_mut(site)?;
+                if matches!(slot, SlotState::Waiting { .. }) {
+                    *slot = SlotState::Excluded(ExclusionReason::Corrupt(e));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Delivers an already-decoded report. Incompatible `(params, seed)`
+    /// excludes the site; a matching report is accepted.
+    pub fn deliver_report(&mut self, site: usize, report: SiteReport) -> Result<(), CoreError> {
+        let verdict = self.reference.compatible(&report.sketch);
+        let slot = self.slot_mut(site)?;
+        if !matches!(slot, SlotState::Waiting { .. }) {
+            // Duplicate delivery (e.g. a retried request answered twice):
+            // first result wins, later ones are ignored.
+            return Ok(());
+        }
+        *slot = match verdict {
+            Ok(()) => SlotState::Accepted(Box::new(report)),
+            Err(e) => SlotState::Excluded(ExclusionReason::Incompatible(e)),
+        };
+        Ok(())
+    }
+
+    /// Records that the current request to `site` failed (timeout,
+    /// connection refused). The retry policy decides whether the site is
+    /// rescheduled at a later tick or excluded as a straggler.
+    pub fn deliver_failed(&mut self, site: usize) -> Result<(), CoreError> {
+        let now = self.tick;
+        let policy = self.policy;
+        let slot = self.slot_mut(site)?;
+        if let SlotState::Waiting { attempt, .. } = *slot {
+            *slot = match policy.backoff_ticks(attempt) {
+                Some(backoff) => SlotState::Waiting {
+                    attempt: attempt + 1,
+                    retry_at_tick: now + backoff,
+                },
+                None => SlotState::Excluded(ExclusionReason::Straggler {
+                    attempts: attempt + 1,
+                }),
+            };
+        }
+        Ok(())
+    }
+
+    /// Merges the accepted reports, if they meet the quorum. Sites still
+    /// pending count as stragglers (the driver chose to stop waiting).
+    /// A site whose merge would saturate a counter is excluded and
+    /// reported, not silently wrapped.
+    pub fn finalize(mut self) -> Result<QuorumOutcome, CoreError> {
+        // Give up on anything still pending.
+        for slot in &mut self.slots {
+            if let SlotState::Waiting { attempt, .. } = *slot {
+                *slot = SlotState::Excluded(ExclusionReason::Straggler { attempts: attempt });
+            }
+        }
+        let mut merged = self.reference.clone();
+        let mut candidates: Vec<ItemKey> = Vec::new();
+        let mut included = Vec::new();
+        let mut excluded = Vec::new();
+        let mut covered_n = 0u64;
+        for (site, slot) in self.slots.iter().enumerate() {
+            match slot {
+                SlotState::Accepted(report) => match merged.merge(&report.sketch) {
+                    Ok(()) => {
+                        candidates.extend_from_slice(&report.candidates);
+                        covered_n += report.local_n;
+                        included.push(site);
+                    }
+                    Err(e) => excluded.push((site, ExclusionReason::Corrupt(e))),
+                },
+                SlotState::Excluded(reason) => excluded.push((site, reason.clone())),
+                SlotState::Waiting { .. } => unreachable!("drained above"),
+            }
+        }
+        if included.len() < self.quorum {
+            return Err(CoreError::QuorumNotMet {
+                validated: included.len(),
+                required: self.quorum,
+            });
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let report = MergeReport {
+            total_sites: self.slots.len(),
+            included: included.clone(),
+            excluded,
+            covered_n,
+            finalized_at_tick: self.tick,
+        };
+        Ok(QuorumOutcome {
+            sketch: DistributedSketch {
+                merged,
+                candidates,
+                sites: included.len(),
+                total_n: covered_n,
+            },
+            report,
+        })
     }
 }
 
@@ -204,9 +578,179 @@ mod tests {
     fn reports_serialize_for_the_wire() {
         let s = Stream::from_ids([7, 7, 8]);
         let report = site_report(&s, 2, PARAMS, 9);
-        let bytes = serde_json::to_vec(&report).unwrap();
-        let back: SiteReport = serde_json::from_slice(&bytes).unwrap();
+        let bytes = report.sketch.to_snapshot_bytes();
+        let back = SiteReport {
+            sketch: CountSketch::from_snapshot_bytes(&bytes).unwrap(),
+            candidates: report.candidates.clone(),
+            local_n: report.local_n,
+        };
         let coord = DistributedSketch::coordinate(&[back]).unwrap();
         assert_eq!(coord.estimate(ItemKey(7)), 2);
+    }
+
+    #[test]
+    fn retry_policy_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ticks: 1,
+            multiplier: 3,
+            max_backoff_ticks: 10,
+        };
+        assert_eq!(p.schedule(), vec![1, 3, 9, 10]);
+        assert_eq!(p.backoff_ticks(4), None, "budget exhausted");
+        let d = RetryPolicy::default();
+        assert_eq!(d.schedule(), vec![1, 2]);
+    }
+
+    fn quorum_setup(sites: usize, quorum: usize) -> (Vec<SiteReport>, QuorumCoordinator) {
+        let (_, shards) = balanced_shards(200, 8_000, 1.0, sites, 5);
+        let reports: Vec<SiteReport> = shards
+            .iter()
+            .map(|s| site_report(s, 10, PARAMS, 99))
+            .collect();
+        let coord =
+            QuorumCoordinator::new(sites, quorum, PARAMS, 99, RetryPolicy::default()).unwrap();
+        (reports, coord)
+    }
+
+    #[test]
+    fn quorum_all_sites_healthy_matches_strict_coordinate() {
+        let (reports, mut coord) = quorum_setup(4, 4);
+        for (i, r) in reports.iter().enumerate() {
+            coord
+                .deliver_snapshot(
+                    i,
+                    &r.sketch.to_snapshot_bytes(),
+                    r.candidates.clone(),
+                    r.local_n,
+                )
+                .unwrap();
+        }
+        let outcome = coord.finalize().unwrap();
+        assert!(outcome.report.is_complete());
+        assert_eq!(outcome.report.coverage(), 1.0);
+        assert_eq!(outcome.report.error_bound_widening(), 1.0);
+        let strict = DistributedSketch::coordinate(&reports).unwrap();
+        for id in 0..200u64 {
+            assert_eq!(
+                outcome.sketch.estimate(ItemKey(id)),
+                strict.estimate(ItemKey(id))
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_excludes_corrupt_site_and_reports_widening() {
+        let (reports, mut coord) = quorum_setup(4, 3);
+        for (i, r) in reports.iter().enumerate() {
+            let mut bytes = r.sketch.to_snapshot_bytes();
+            if i == 2 {
+                bytes[50] ^= 0xFF; // corrupt site 2's payload
+            }
+            coord
+                .deliver_snapshot(i, &bytes, r.candidates.clone(), r.local_n)
+                .unwrap();
+        }
+        let outcome = coord.finalize().unwrap();
+        assert_eq!(outcome.report.included, vec![0, 1, 3]);
+        assert_eq!(outcome.report.excluded.len(), 1);
+        assert!(matches!(
+            outcome.report.excluded[0],
+            (
+                2,
+                ExclusionReason::Corrupt(CoreError::ChecksumMismatch { .. })
+            )
+        ));
+        assert!((outcome.report.coverage() - 0.75).abs() < 1e-12);
+        assert!((outcome.report.error_bound_widening() - 4.0 / 3.0).abs() < 1e-12);
+        assert!(!outcome.report.is_complete());
+    }
+
+    #[test]
+    fn quorum_excludes_incompatible_seed() {
+        let (reports, mut coord) = quorum_setup(2, 1);
+        let alien = site_report(&Stream::from_ids([1, 2]), 2, PARAMS, 12345);
+        coord.deliver_report(0, reports[0].clone()).unwrap();
+        coord.deliver_report(1, alien).unwrap();
+        let outcome = coord.finalize().unwrap();
+        assert_eq!(outcome.report.included, vec![0]);
+        assert!(matches!(
+            outcome.report.excluded[0],
+            (
+                1,
+                ExclusionReason::Incompatible(CoreError::SeedMismatch { .. })
+            )
+        ));
+    }
+
+    #[test]
+    fn quorum_straggler_is_retried_then_excluded_tick_driven() {
+        let (reports, mut coord) = quorum_setup(2, 1);
+        coord.deliver_report(0, reports[0].clone()).unwrap();
+        // Site 1 never answers: fail each due request, advancing ticks.
+        let mut failures = 0;
+        while coord.pending_sites().contains(&1) {
+            if coord.due_sites().contains(&1) {
+                coord.deliver_failed(1).unwrap();
+                failures += 1;
+            }
+            coord.advance_tick();
+            assert!(coord.tick() < 100, "retry loop must terminate");
+        }
+        assert_eq!(failures, RetryPolicy::default().max_attempts);
+        let outcome = coord.finalize().unwrap();
+        assert_eq!(outcome.report.included, vec![0]);
+        assert!(matches!(
+            outcome.report.excluded[0],
+            (1, ExclusionReason::Straggler { attempts: 3 })
+        ));
+    }
+
+    #[test]
+    fn quorum_not_met_is_typed_error() {
+        let (reports, mut coord) = quorum_setup(3, 3);
+        coord.deliver_report(0, reports[0].clone()).unwrap();
+        // Sites 1 and 2 never deliver.
+        let err = coord.finalize().unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::QuorumNotMet {
+                validated: 1,
+                required: 3
+            }
+        );
+    }
+
+    #[test]
+    fn quorum_duplicate_delivery_first_wins() {
+        let (reports, mut coord) = quorum_setup(2, 2);
+        coord.deliver_report(0, reports[0].clone()).unwrap();
+        coord.deliver_report(0, reports[1].clone()).unwrap(); // dup, ignored
+        coord.deliver_report(1, reports[1].clone()).unwrap();
+        let outcome = coord.finalize().unwrap();
+        assert_eq!(outcome.report.included, vec![0, 1]);
+        assert_eq!(outcome.sketch.total_n(), 8_000);
+    }
+
+    #[test]
+    fn quorum_rejects_bad_configuration() {
+        assert!(QuorumCoordinator::new(0, 1, PARAMS, 0, RetryPolicy::default()).is_err());
+        assert!(QuorumCoordinator::new(3, 0, PARAMS, 0, RetryPolicy::default()).is_err());
+        assert!(QuorumCoordinator::new(3, 4, PARAMS, 0, RetryPolicy::default()).is_err());
+        let mut c = QuorumCoordinator::new(2, 1, PARAMS, 0, RetryPolicy::default()).unwrap();
+        assert!(c.deliver_failed(7).is_err(), "site index out of range");
+    }
+
+    #[test]
+    fn exclusion_reason_displays() {
+        let r = ExclusionReason::Straggler { attempts: 3 };
+        assert!(r.to_string().contains("3 attempt"));
+        let r = ExclusionReason::Corrupt(CoreError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        });
+        assert!(r.to_string().contains("corrupt"));
+        let r = ExclusionReason::Incompatible(CoreError::SeedMismatch { left: 1, right: 2 });
+        assert!(r.to_string().contains("incompatible"));
     }
 }

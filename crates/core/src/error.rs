@@ -24,6 +24,36 @@ pub enum CoreError {
     },
     /// A parameter was out of its valid domain.
     InvalidParameter(String),
+    /// A snapshot's stored CRC-32 does not match the checksum computed
+    /// over its bytes: the snapshot was corrupted after it was written
+    /// (bit flip, torn write, truncation past the header).
+    ChecksumMismatch {
+        /// Checksum stored in the snapshot's trailing field.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// A strict merge would overflow a counter; the operation was
+    /// refused and the receiving sketch left untouched. The cell that
+    /// would have overflowed is identified so operators can correlate
+    /// with [`crate::sketch::SketchHealth`].
+    CounterSaturated {
+        /// Row of the cell that would overflow.
+        row: usize,
+        /// Bucket within the row.
+        bucket: usize,
+    },
+    /// A snapshot is structurally invalid (bad magic, unknown version,
+    /// impossible section lengths) even though — or before — its
+    /// checksum could be verified.
+    CorruptSnapshot(String),
+    /// A quorum merge could not gather enough valid site reports.
+    QuorumNotMet {
+        /// Sites that validated and were merged.
+        validated: usize,
+        /// Sites required by the configured quorum.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -38,6 +68,22 @@ impl std::fmt::Display for CoreError {
                 "sketch seed mismatch: {left} vs {right} (hash functions differ)"
             ),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x} (data corrupted)"
+            ),
+            CoreError::CounterSaturated { row, bucket } => write!(
+                f,
+                "counter saturated at row {row}, bucket {bucket}: merge would overflow i64"
+            ),
+            CoreError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            CoreError::QuorumNotMet {
+                validated,
+                required,
+            } => write!(
+                f,
+                "quorum not met: {validated} site(s) validated, {required} required"
+            ),
         }
     }
 }
@@ -62,8 +108,43 @@ mod tests {
     }
 
     #[test]
+    fn display_messages_robustness_variants() {
+        let e = CoreError::ChecksumMismatch {
+            stored: 0xDEAD_BEEF,
+            computed: 0x0BAD_F00D,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("deadbeef") && msg.contains("0badf00d"),
+            "{msg}"
+        );
+        let e = CoreError::CounterSaturated { row: 3, bucket: 17 };
+        let msg = e.to_string();
+        assert!(msg.contains("row 3") && msg.contains("bucket 17"), "{msg}");
+        let e = CoreError::CorruptSnapshot("kind 9 unknown".into());
+        assert!(e.to_string().contains("kind 9 unknown"));
+        let e = CoreError::QuorumNotMet {
+            validated: 2,
+            required: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('2') && msg.contains('3'), "{msg}");
+    }
+
+    #[test]
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&CoreError::InvalidParameter(String::new()));
+        takes_err(&CoreError::ChecksumMismatch {
+            stored: 0,
+            computed: 1,
+        });
+    }
+
+    #[test]
+    fn variants_are_comparable_and_cloneable() {
+        let e = CoreError::CounterSaturated { row: 0, bucket: 0 };
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, CoreError::CounterSaturated { row: 0, bucket: 1 });
     }
 }

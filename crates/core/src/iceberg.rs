@@ -20,10 +20,9 @@ use crate::sketch::{CountSketch, EstimateScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 
 /// Result of an iceberg query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IcebergResult {
     /// Items whose estimated count clears the reporting threshold,
     /// estimates non-increasing.

@@ -60,6 +60,7 @@ pub mod median;
 pub mod params;
 pub mod relchange;
 pub mod sketch;
+pub mod snapshot;
 pub mod topk;
 pub mod window;
 
@@ -68,14 +69,20 @@ pub mod prelude {
     pub use crate::approx_top::{approx_top, ApproxTopResult};
     pub use crate::builder::CountSketchBuilder;
     pub use crate::candidate_top::{candidate_top_one_pass, candidate_top_two_pass};
-    pub use crate::distributed::{site_report, DistributedSketch, SiteReport};
+    pub use crate::distributed::{
+        site_report, DistributedSketch, ExclusionReason, MergeReport, QuorumCoordinator,
+        QuorumOutcome, RetryPolicy, SiteReport,
+    };
     pub use crate::error::CoreError;
     pub use crate::hierarchical::{HeavyItem, HierarchicalCountSketch};
     pub use crate::iceberg::{iceberg, IcebergProcessor, IcebergResult};
     pub use crate::maxchange::{max_change, MaxChangeResult};
     pub use crate::params::SketchParams;
     pub use crate::relchange::{max_relative_change, ChangeObjective, RelChangeSketch};
-    pub use crate::sketch::{CountSketch, FastCountSketch, GenericCountSketch};
+    pub use crate::sketch::{
+        CheckedEstimate, CountSketch, FastCountSketch, GenericCountSketch, SketchHealth,
+    };
+    pub use crate::snapshot::{read_snapshot_file, write_snapshot_file};
     pub use crate::topk::TopKTracker;
     pub use crate::window::SlidingSketch;
     pub use cs_hash::ItemKey;

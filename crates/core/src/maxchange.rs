@@ -25,11 +25,10 @@ use crate::sketch::{CountSketch, EstimateScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One reported max-change item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChangeItem {
     /// The item.
     pub key: ItemKey,
@@ -40,7 +39,7 @@ pub struct ChangeItem {
 }
 
 /// Result of the max-change algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaxChangeResult {
     /// Top-`k` items by exact |change| among the `l` candidates,
     /// non-increasing in |change|.
@@ -50,7 +49,7 @@ pub struct MaxChangeResult {
 }
 
 /// A Count-Sketch of the difference `S2 - S1`, built incrementally.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiffSketch {
     sketch: CountSketch,
 }

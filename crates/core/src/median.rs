@@ -5,11 +5,14 @@
 //! rows, "the mean is very sensitive to outliers, while the median is
 //! sufficiently robust". The mean and a trimmed mean are provided for the
 //! ablation benchmark that demonstrates exactly this.
-
-use serde::{Deserialize, Serialize};
+//!
+//! All combiners accumulate in `i128`, so summing `t` row estimates of
+//! `i64::MAX` cannot wrap. Saturated *cells* are a different concern,
+//! handled upstream: the sketch flags them and
+//! `GenericCountSketch::estimate_checked` combines only clean rows.
 
 /// Strategy for combining the `t` per-row estimates into one value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Combiner {
     /// The paper's choice: the median.
     #[default]

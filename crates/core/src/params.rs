@@ -18,10 +18,8 @@
 //! (`t = ⌈log₂(n/δ)⌉`, odd), and the experiments in `EXPERIMENTS.md`
 //! measure how small `t` can actually go.
 
-use serde::{Deserialize, Serialize};
-
 /// Dimensions of a Count-Sketch: `t` hash tables of `b` counters each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SketchParams {
     /// Number of rows (hash tables), `t`.
     pub rows: usize,

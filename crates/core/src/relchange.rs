@@ -30,11 +30,10 @@ use crate::sketch::{CountSketch, EstimateScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How to score a change between two streams.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ChangeObjective {
     /// The paper's §4.2 objective: `|Δ|`.
     Absolute,
@@ -72,7 +71,7 @@ impl ChangeObjective {
 }
 
 /// One scored change item.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredChange {
     /// The item.
     pub key: ItemKey,
@@ -86,7 +85,7 @@ pub struct ScoredChange {
 
 /// Difference + sum sketches over a stream pair, for relative-change
 /// queries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RelChangeSketch {
     /// Estimates `n^{S2} - n^{S1}`.
     diff: CountSketch,
@@ -352,10 +351,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let sk = RelChangeSketch::new(SketchParams::new(3, 32), 1);
-        let json = serde_json::to_string(&sk).unwrap();
-        let back: RelChangeSketch = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.diff.counters(), sk.diff.counters());
+    fn inner_sketches_snapshot_roundtrip() {
+        // The relative-change sketch persists through the snapshot codec
+        // of its constituent sketches.
+        let mut sk = RelChangeSketch::new(SketchParams::new(3, 32), 1);
+        sk.absorb_first(&Stream::from_ids([4, 4, 4]));
+        sk.absorb_second(&Stream::from_ids([4, 5]));
+        let back =
+            crate::sketch::CountSketch::from_snapshot_bytes(&sk.diff.to_snapshot_bytes()).unwrap();
+        assert_eq!(back.counters(), sk.diff.counters());
     }
 }

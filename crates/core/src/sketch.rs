@@ -28,7 +28,6 @@ use cs_hash::{
     TabulationHash,
 };
 use cs_stream::Stream;
-use serde::{Deserialize, Serialize};
 
 /// A bucket-hash construction the sketch can draw rows from.
 ///
@@ -100,16 +99,91 @@ impl DrawSignHasher for TabulationHash {
 /// let other = CountSketch::new(SketchParams::new(5, 256), 42);
 /// sketch.merge(&other).unwrap();
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GenericCountSketch<H, S> {
     rows: usize,
     buckets: usize,
     /// Row-major `rows × buckets` counters.
     counters: Vec<i64>,
+    /// One bit per counter, set when that counter has ever been clamped
+    /// at `i64::MAX`/`i64::MIN` instead of silently wrapping. A saturated
+    /// cell no longer tracks its true signed mass, so estimates that
+    /// probe it are suspect — [`GenericCountSketch::estimate_checked`]
+    /// excludes such rows and [`GenericCountSketch::health`] reports them.
+    saturated: Vec<u64>,
     hashers: Vec<H>,
     signs: Vec<S>,
     seed: u64,
     combiner: Combiner,
+}
+
+/// Saturation report for a sketch: which fraction of the structure still
+/// carries exact signed mass.
+///
+/// The paper's Lemma-3/4 analysis needs the median to be taken over rows
+/// whose probed counters are exact; a saturated counter is effectively an
+/// adversarially corrupted row. The median tolerates corrupted rows only
+/// while the clean rows still form a strict majority, so the confidence
+/// of an estimate degrades as `degraded_rows` grows — quantified by
+/// [`SketchHealth::error_bound_widening`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchHealth {
+    /// Total rows `t`.
+    pub rows: usize,
+    /// Buckets per row `b`.
+    pub buckets: usize,
+    /// Counters that have been clamped at least once.
+    pub saturated_cells: usize,
+    /// Rows containing at least one saturated counter.
+    pub degraded_rows: usize,
+}
+
+impl SketchHealth {
+    /// No counter has ever saturated: every guarantee holds as analyzed.
+    pub fn is_healthy(&self) -> bool {
+        self.saturated_cells == 0
+    }
+
+    /// Rows with no saturated counters — the rows whose estimates are
+    /// still exact signed sums.
+    pub fn clean_rows(&self) -> usize {
+        self.rows - self.degraded_rows
+    }
+
+    /// The factor by which the estimate's failure-probability exponent
+    /// widens. A degraded row can out-vote a clean one, so the median's
+    /// margin shrinks from `t` to `t - 2·degraded`; the bound widens by
+    /// `t / (t - 2·degraded)`, and becomes vacuous (`+∞`) once the clean
+    /// rows no longer form a strict majority.
+    pub fn error_bound_widening(&self) -> f64 {
+        let margin = self.rows as i64 - 2 * self.degraded_rows as i64;
+        if margin <= 0 {
+            f64::INFINITY
+        } else {
+            self.rows as f64 / margin as f64
+        }
+    }
+}
+
+/// An estimate plus the evidence behind it, from
+/// [`GenericCountSketch::estimate_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckedEstimate {
+    /// The combined estimate, computed over the clean rows only (all
+    /// rows, if every probed cell is saturated).
+    pub value: i64,
+    /// Rows whose probed counter was exact.
+    pub clean_rows: usize,
+    /// Rows whose probed counter had saturated.
+    pub saturated_rows: usize,
+}
+
+impl CheckedEstimate {
+    /// Whether the estimate carries the full analyzed guarantee: no
+    /// probed counter had saturated.
+    pub fn is_exact_evidence(&self) -> bool {
+        self.saturated_rows == 0
+    }
 }
 
 /// The paper-faithful instantiation: pairwise-independent polynomial
@@ -141,6 +215,7 @@ impl<H: DrawBucketHasher, S: DrawSignHasher> GenericCountSketch<H, S> {
             rows: params.rows,
             buckets,
             counters: vec![0; params.rows * buckets],
+            saturated: vec![0; (params.rows * buckets).div_ceil(64)],
             hashers,
             signs,
             seed,
@@ -193,13 +268,66 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
 
     /// General turnstile update: adds `weight` occurrences (may be
     /// negative).
+    ///
+    /// Counters never wrap: a cell that would overflow `i64` is clamped
+    /// at `i64::MAX`/`i64::MIN` and flagged, which [`Self::health`] and
+    /// [`Self::estimate_checked`] surface. The exact sum is carried in
+    /// `i128` so even `sign * i64::MIN` is handled correctly.
     #[inline]
     pub fn update(&mut self, key: ItemKey, weight: i64) {
         let k = key.raw();
         for i in 0..self.rows {
             let bucket = self.hashers[i].bucket(k);
             let sign = self.signs[i].sign(k);
-            self.counters[i * self.buckets + bucket] += sign * weight;
+            let idx = i * self.buckets + bucket;
+            let sum = i128::from(self.counters[idx]) + i128::from(sign) * i128::from(weight);
+            self.counters[idx] = self.clamp_and_flag(idx, sum);
+        }
+    }
+
+    /// Clamps an exact `i128` cell value into `i64`, flagging the cell as
+    /// saturated if clamping happened.
+    #[inline]
+    fn clamp_and_flag(&mut self, idx: usize, exact: i128) -> i64 {
+        if exact > i128::from(i64::MAX) {
+            self.saturated[idx / 64] |= 1 << (idx % 64);
+            i64::MAX
+        } else if exact < i128::from(i64::MIN) {
+            self.saturated[idx / 64] |= 1 << (idx % 64);
+            i64::MIN
+        } else {
+            exact as i64
+        }
+    }
+
+    /// Whether the counter at `(row, bucket)` has ever been clamped.
+    pub fn is_cell_saturated(&self, row: usize, bucket: usize) -> bool {
+        let idx = row * self.buckets + bucket;
+        self.saturated[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Saturation report: how much of the structure still carries exact
+    /// signed mass, and how far the error bound has widened.
+    pub fn health(&self) -> SketchHealth {
+        let mut saturated_cells = 0;
+        let mut degraded_rows = 0;
+        for row in 0..self.rows {
+            let mut row_hit = false;
+            for bucket in 0..self.buckets {
+                if self.is_cell_saturated(row, bucket) {
+                    saturated_cells += 1;
+                    row_hit = true;
+                }
+            }
+            if row_hit {
+                degraded_rows += 1;
+            }
+        }
+        SketchHealth {
+            rows: self.rows,
+            buckets: self.buckets,
+            saturated_cells,
+            degraded_rows,
         }
     }
 
@@ -225,7 +353,9 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         for i in 0..self.rows {
             let bucket = self.hashers[i].bucket(k);
             let sign = self.signs[i].sign(k);
-            out.push(sign * self.counters[i * self.buckets + bucket]);
+            // saturating: −1 · i64::MIN must not wrap (a clamped cell can
+            // legitimately hold i64::MIN).
+            out.push(sign.saturating_mul(self.counters[i * self.buckets + bucket]));
         }
     }
 
@@ -236,6 +366,34 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         let mut scratch = Vec::with_capacity(self.rows);
         self.row_estimates(key, &mut rows);
         combine(self.combiner, &rows, &mut scratch)
+    }
+
+    /// Overflow-aware estimate: rows whose probed counter has saturated
+    /// are excluded from the combine (they no longer carry the true
+    /// signed mass), and the returned [`CheckedEstimate`] says how many
+    /// rows of exact evidence back the value. If *every* probed cell is
+    /// saturated the value falls back to combining the clamped counters —
+    /// still the best available answer, but flagged as zero clean rows.
+    pub fn estimate_checked(&self, key: ItemKey) -> CheckedEstimate {
+        let k = key.raw();
+        let mut clean = Vec::with_capacity(self.rows);
+        let mut all = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let bucket = self.hashers[i].bucket(k);
+            let sign = self.signs[i].sign(k);
+            let est = sign.saturating_mul(self.counters[i * self.buckets + bucket]);
+            all.push(est);
+            if !self.is_cell_saturated(i, bucket) {
+                clean.push(est);
+            }
+        }
+        let mut scratch = Vec::with_capacity(self.rows);
+        let evidence = if clean.is_empty() { &all } else { &clean };
+        CheckedEstimate {
+            value: combine(self.combiner, evidence, &mut scratch),
+            clean_rows: clean.len(),
+            saturated_rows: self.rows - clean.len(),
+        }
     }
 
     /// Allocation-free estimate for hot loops: both buffers are reused.
@@ -270,28 +428,75 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
     /// have been created with equal `(params, seed)` — §3.2: "if two
     /// sketches share the same hash functions ... we can add and subtract
     /// them".
+    ///
+    /// Strict about overflow: the whole addition is validated first, and
+    /// if any cell would overflow `i64` the merge is refused with
+    /// [`CoreError::CounterSaturated`] and `self` is left untouched
+    /// (validate-then-apply, so a failed merge never half-applies). Use
+    /// [`Self::merge_saturating`] when clamped degradation is preferred
+    /// to refusal.
     pub fn merge(&mut self, other: &Self) -> Result<(), CoreError> {
         self.compatible(other)?;
+        for (idx, (&c, &d)) in self.counters.iter().zip(&other.counters).enumerate() {
+            if c.checked_add(d).is_none() {
+                return Err(CoreError::CounterSaturated {
+                    row: idx / self.buckets,
+                    bucket: idx % self.buckets,
+                });
+            }
+        }
         for (c, &d) in self.counters.iter_mut().zip(&other.counters) {
             *c += d;
+        }
+        for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
+            *w |= o;
+        }
+        Ok(())
+    }
+
+    /// Adds another sketch, clamping any overflowing cell at the `i64`
+    /// limits and flagging it instead of refusing. The degradation is
+    /// visible through [`Self::health`].
+    pub fn merge_saturating(&mut self, other: &Self) -> Result<(), CoreError> {
+        self.compatible(other)?;
+        for idx in 0..self.counters.len() {
+            let sum = i128::from(self.counters[idx]) + i128::from(other.counters[idx]);
+            self.counters[idx] = self.clamp_and_flag(idx, sum);
+        }
+        for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
+            *w |= o;
         }
         Ok(())
     }
 
     /// Subtracts another sketch (`C -= D`), yielding a sketch of the
     /// difference of the two streams — the basis of the max-change
-    /// algorithm.
+    /// algorithm. Validate-then-apply like [`Self::merge`]: refused with
+    /// [`CoreError::CounterSaturated`] if any cell would overflow.
     pub fn subtract(&mut self, other: &Self) -> Result<(), CoreError> {
         self.compatible(other)?;
+        for (idx, (&c, &d)) in self.counters.iter().zip(&other.counters).enumerate() {
+            if c.checked_sub(d).is_none() {
+                return Err(CoreError::CounterSaturated {
+                    row: idx / self.buckets,
+                    bucket: idx % self.buckets,
+                });
+            }
+        }
         for (c, &d) in self.counters.iter_mut().zip(&other.counters) {
             *c -= d;
+        }
+        for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
+            *w |= o;
         }
         Ok(())
     }
 
-    /// Resets all counters to zero (hash functions are kept).
+    /// Resets all counters to zero (hash functions are kept), including
+    /// saturation flags.
     pub fn clear(&mut self) {
         self.counters.fill(0);
+        self.saturated.fill(0);
     }
 
     /// Raw counter array (row-major), for tests and diagnostics.
@@ -300,9 +505,21 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
     }
 
     /// Mutable counter array — crate-internal, used by the concurrent
-    /// wrapper's snapshot.
+    /// wrapper's snapshot and the snapshot codec.
     pub(crate) fn counters_mut(&mut self) -> &mut [i64] {
         &mut self.counters
+    }
+
+    /// Saturation bitset words (row-major cell order, 64 cells per word)
+    /// — crate-internal, persisted by the snapshot codec.
+    pub(crate) fn saturated_words(&self) -> &[u64] {
+        &self.saturated
+    }
+
+    /// Mutable saturation bitset — crate-internal, restored by the
+    /// snapshot codec.
+    pub(crate) fn saturated_words_mut(&mut self) -> &mut [u64] {
+        &mut self.saturated
     }
 
     /// The `(bucket, sign)` cell a key maps to in each row, in row order.
@@ -571,15 +788,135 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_estimates() {
+    fn snapshot_roundtrip_preserves_estimates() {
         let mut s = small();
         let zipf = Zipf::new(50, 1.0);
         s.absorb(&zipf.stream(1000, 2, ZipfStreamKind::Sampled), 1);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CountSketch = serde_json::from_str(&json).unwrap();
+        let bytes = s.to_snapshot_bytes();
+        let back = CountSketch::from_snapshot_bytes(&bytes).unwrap();
         for id in 0..50u64 {
             assert_eq!(s.estimate(ItemKey(id)), back.estimate(ItemKey(id)));
         }
+    }
+
+    #[test]
+    fn update_saturates_instead_of_wrapping() {
+        let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
+        s.update(ItemKey(1), i64::MAX);
+        s.update(ItemKey(1), i64::MAX);
+        let c = s.counters()[0];
+        assert!(c == i64::MAX || c == i64::MIN, "clamped, not wrapped: {c}");
+        assert!(s.is_cell_saturated(0, 0));
+        let health = s.health();
+        assert_eq!(health.saturated_cells, 1);
+        assert_eq!(health.degraded_rows, 1);
+        assert!(!health.is_healthy());
+        // Estimating must not panic even on the clamped cell.
+        let _ = s.estimate(ItemKey(1));
+    }
+
+    #[test]
+    fn negative_saturation_clamps_at_min() {
+        let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
+        s.update(ItemKey(1), i64::MIN);
+        s.update(ItemKey(1), i64::MIN);
+        let c = s.counters()[0];
+        assert!(c == i64::MIN || c == i64::MAX);
+        assert!(s.is_cell_saturated(0, 0));
+        // −1 · i64::MIN inside row_estimates must not overflow either.
+        let _ = s.estimate(ItemKey(2));
+    }
+
+    #[test]
+    fn strict_merge_refuses_overflow_and_leaves_self_untouched() {
+        let params = SketchParams::new(1, 1);
+        let mut a = CountSketch::new(params, 0);
+        let mut b = CountSketch::new(params, 0);
+        a.update(ItemKey(1), i64::MAX);
+        b.update(ItemKey(1), i64::MAX);
+        let before = a.counters().to_vec();
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err, CoreError::CounterSaturated { row: 0, bucket: 0 });
+        assert_eq!(a.counters(), &before[..], "validate-then-apply");
+        // The saturating variant degrades gracefully instead.
+        a.merge_saturating(&b).unwrap();
+        assert!(a.is_cell_saturated(0, 0));
+        assert!(!a.health().is_healthy());
+    }
+
+    #[test]
+    fn subtract_refuses_overflow() {
+        let params = SketchParams::new(1, 1);
+        let mut a = CountSketch::new(params, 0);
+        let mut b = CountSketch::new(params, 0);
+        a.update(ItemKey(1), i64::MAX);
+        b.update(ItemKey(1), i64::MIN);
+        assert!(matches!(
+            a.subtract(&b),
+            Err(CoreError::CounterSaturated { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_checked_excludes_saturated_rows() {
+        // Row 0 of a 3-row sketch saturates; the checked estimate should
+        // report 2 clean rows and still produce a sane value.
+        let mut s = CountSketch::new(SketchParams::new(3, 4), 5);
+        for _ in 0..10 {
+            s.add(ItemKey(9));
+        }
+        let clean = s.estimate_checked(ItemKey(9));
+        assert_eq!(clean.saturated_rows, 0);
+        assert_eq!(clean.clean_rows, 3);
+        assert!(clean.is_exact_evidence());
+        assert_eq!(clean.value, s.estimate(ItemKey(9)));
+
+        // Saturate every cell of the sketch via massive updates on many keys.
+        for id in 0..64u64 {
+            s.update(ItemKey(id), i64::MAX);
+            s.update(ItemKey(id), i64::MAX);
+        }
+        let degraded = s.estimate_checked(ItemKey(9));
+        assert!(degraded.saturated_rows > 0);
+        assert!(!degraded.is_exact_evidence());
+    }
+
+    #[test]
+    fn clear_resets_saturation() {
+        let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
+        s.update(ItemKey(1), i64::MAX);
+        s.update(ItemKey(1), i64::MAX);
+        assert!(!s.health().is_healthy());
+        s.clear();
+        assert!(s.health().is_healthy());
+        assert!(!s.is_cell_saturated(0, 0));
+    }
+
+    #[test]
+    fn health_widening_math() {
+        let h = SketchHealth {
+            rows: 5,
+            buckets: 64,
+            saturated_cells: 0,
+            degraded_rows: 0,
+        };
+        assert!(h.is_healthy());
+        assert_eq!(h.error_bound_widening(), 1.0);
+        let h = SketchHealth {
+            rows: 5,
+            buckets: 64,
+            saturated_cells: 3,
+            degraded_rows: 1,
+        };
+        assert_eq!(h.clean_rows(), 4);
+        assert!((h.error_bound_widening() - 5.0 / 3.0).abs() < 1e-12);
+        let h = SketchHealth {
+            rows: 5,
+            buckets: 64,
+            saturated_cells: 9,
+            degraded_rows: 3,
+        };
+        assert!(h.error_bound_widening().is_infinite());
     }
 
     proptest! {

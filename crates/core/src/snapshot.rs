@@ -1,0 +1,578 @@
+//! Versioned, checksummed binary snapshots of sketch state.
+//!
+//! A long-running sketch (or the [`crate::approx_top::ApproxTopProcessor`]
+//! built around one) needs to survive process restarts without replaying
+//! its stream. §3.2 additivity makes this safe: the sketch's state is
+//! exactly its counter array plus the `(params, seed)` the hash functions
+//! are drawn from, so *resume-from-snapshot is bit-identical to an
+//! uninterrupted run* — a property the crate's proptests assert rather
+//! than assume.
+//!
+//! ## Wire layout (`CSNP` v1, all integers little-endian)
+//!
+//! ```text
+//! magic      u32  = 0x4353_4E50 ("CSNP")
+//! version    u32  = 1
+//! kind       u32  = 1 (sketch) | 2 (approx-top processor)
+//! combiner   u32  = 0 median | 1 mean | 2 trimmed mean
+//! rows       u64
+//! buckets    u64            -- post-rounding, a fixed point of redrawing
+//! seed       u64
+//! counters   rows·buckets × i64
+//! saturation ⌈rows·buckets/64⌉ × u64   -- overflow flags, 1 bit per cell
+//! [kind 2 only]
+//!   policy   u32  = 0 increment-tracked | 1 always-re-estimate
+//!   capacity u64
+//!   entries  u64
+//!   entry    entries × (key u64, value i64)
+//! crc32      u32  -- CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Hash functions are *not* serialized: they are reconstructed
+//! deterministically from `(rows, buckets, seed)`, which both shrinks the
+//! snapshot and makes it impossible for a corrupted snapshot to smuggle
+//! in mismatched hash functions. The stored `buckets` is the
+//! post-rounding count, which every hasher construction maps to itself,
+//! so redrawing reproduces the original functions exactly (verified on
+//! load).
+//!
+//! ## Failure semantics
+//!
+//! Loading is total: any byte sequence produces either a valid value or
+//! a typed [`CoreError`] — never a panic, never a silently wrong sketch.
+//! Structural problems (bad magic/version/kind, impossible lengths)
+//! yield [`CoreError::CorruptSnapshot`]; any corruption of an otherwise
+//! well-formed snapshot is caught by the trailing CRC-32 and yields
+//! [`CoreError::ChecksumMismatch`]. [`write_snapshot_file`] writes
+//! through a temporary file and renames, so a crash mid-write leaves
+//! either the old snapshot or a detectably torn temp file — never a
+//! half-written snapshot under the final name.
+
+use crate::approx_top::{ApproxTopProcessor, HeapPolicy};
+use crate::error::CoreError;
+use crate::median::Combiner;
+use crate::params::SketchParams;
+use crate::sketch::{DrawBucketHasher, DrawSignHasher, GenericCountSketch};
+use crate::topk::TopKTracker;
+use cs_hash::crc32::crc32;
+use cs_hash::{BucketHasher, ItemKey, SignHasher};
+use std::io;
+use std::path::Path;
+
+const MAGIC: u32 = 0x4353_4E50; // "CSNP"
+const VERSION: u32 = 1;
+const KIND_SKETCH: u32 = 1;
+const KIND_PROCESSOR: u32 = 2;
+const HEADER: usize = 40;
+
+fn combiner_code(c: Combiner) -> u32 {
+    match c {
+        Combiner::Median => 0,
+        Combiner::Mean => 1,
+        Combiner::TrimmedMean => 2,
+    }
+}
+
+fn combiner_from(code: u32) -> Result<Combiner, CoreError> {
+    match code {
+        0 => Ok(Combiner::Median),
+        1 => Ok(Combiner::Mean),
+        2 => Ok(Combiner::TrimmedMean),
+        other => Err(CoreError::CorruptSnapshot(format!(
+            "unknown combiner code {other}"
+        ))),
+    }
+}
+
+fn policy_code(p: HeapPolicy) -> u32 {
+    match p {
+        HeapPolicy::IncrementTracked => 0,
+        HeapPolicy::AlwaysReEstimate => 1,
+    }
+}
+
+fn policy_from(code: u32) -> Result<HeapPolicy, CoreError> {
+    match code {
+        0 => Ok(HeapPolicy::IncrementTracked),
+        1 => Ok(HeapPolicy::AlwaysReEstimate),
+        other => Err(CoreError::CorruptSnapshot(format!(
+            "unknown heap policy code {other}"
+        ))),
+    }
+}
+
+fn push_sketch_body<H: BucketHasher, S: SignHasher>(
+    buf: &mut Vec<u8>,
+    kind: u32,
+    sketch: &GenericCountSketch<H, S>,
+) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&kind.to_le_bytes());
+    buf.extend_from_slice(&combiner_code(sketch.combiner()).to_le_bytes());
+    buf.extend_from_slice(&(sketch.rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(sketch.buckets() as u64).to_le_bytes());
+    buf.extend_from_slice(&sketch.seed().to_le_bytes());
+    for &c in sketch.counters() {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for &w in sketch.saturated_words() {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A validated, checksummed view over snapshot bytes; parsing happens
+/// against this after the CRC has been verified.
+struct Reader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Verifies magic, version and CRC; returns a reader over the body
+    /// (everything between the magic and the trailing checksum).
+    fn open(bytes: &'a [u8], want_kind: u32) -> Result<(Self, u32), CoreError> {
+        if bytes.len() < HEADER + 4 {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "snapshot too short: {} bytes, need at least {}",
+                bytes.len(),
+                HEADER + 4
+            )));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "bad magic 0x{magic:08x}"
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let body_end = bytes.len() - 4;
+        let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[..body_end]);
+        if stored != computed {
+            return Err(CoreError::ChecksumMismatch { stored, computed });
+        }
+        let kind = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if kind != want_kind {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "snapshot kind {kind}, expected {want_kind}"
+            )));
+        }
+        Ok((
+            Self {
+                body: &bytes[..body_end],
+                pos: 12,
+            },
+            kind,
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        if self.remaining() < 4 {
+            return Err(CoreError::CorruptSnapshot("section truncated".into()));
+        }
+        let v = u32::from_le_bytes(self.body[self.pos..self.pos + 4].try_into().expect("4"));
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        if self.remaining() < 8 {
+            return Err(CoreError::CorruptSnapshot("section truncated".into()));
+        }
+        let v = u64::from_le_bytes(self.body[self.pos..self.pos + 8].try_into().expect("8"));
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64, CoreError> {
+        self.u64().map(|v| v as i64)
+    }
+
+    fn finish(self) -> Result<(), CoreError> {
+        if self.remaining() != 0 {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "{} unexpected trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_sketch<H, S>(r: &mut Reader<'_>) -> Result<GenericCountSketch<H, S>, CoreError>
+where
+    H: DrawBucketHasher,
+    S: DrawSignHasher,
+{
+    let combiner = combiner_from(r.u32()?)?;
+    let rows = r.u64()? as usize;
+    let buckets = r.u64()? as usize;
+    let seed = r.u64()?;
+    let cells = rows
+        .checked_mul(buckets)
+        .ok_or_else(|| CoreError::CorruptSnapshot("rows × buckets overflows".into()))?;
+    let words = cells.div_ceil(64);
+    // Every section length is checked against the buffer before any
+    // allocation, so a forged length cannot trigger a huge allocation.
+    let need = cells
+        .checked_mul(8)
+        .and_then(|c| c.checked_add(words * 8))
+        .ok_or_else(|| CoreError::CorruptSnapshot("section size overflows".into()))?;
+    if r.remaining() < need {
+        return Err(CoreError::CorruptSnapshot(format!(
+            "counter section needs {need} bytes, {} remain",
+            r.remaining()
+        )));
+    }
+    let mut sketch = GenericCountSketch::<H, S>::new(SketchParams::new(rows, buckets), seed)
+        .with_combiner(combiner);
+    if sketch.buckets() != buckets || sketch.rows() != rows {
+        return Err(CoreError::CorruptSnapshot(format!(
+            "dimensions ({rows}, {buckets}) are not reproducible by this hasher construction"
+        )));
+    }
+    for c in sketch.counters_mut() {
+        *c = r.i64()?;
+    }
+    for w in sketch.saturated_words_mut() {
+        *w = r.u64()?;
+    }
+    Ok(sketch)
+}
+
+impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
+    /// Serializes the sketch to the checksummed `CSNP` snapshot format.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER + self.counters().len() * 8 + 64);
+        push_sketch_body(&mut buf, KIND_SKETCH, self);
+        seal(buf)
+    }
+}
+
+impl<H: DrawBucketHasher, S: DrawSignHasher> GenericCountSketch<H, S> {
+    /// Restores a sketch from snapshot bytes, verifying the checksum and
+    /// every structural invariant. Total: returns a typed [`CoreError`]
+    /// on any malformed input, never panics.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (mut r, _) = Reader::open(bytes, KIND_SKETCH)?;
+        let sketch = read_sketch(&mut r)?;
+        r.finish()?;
+        Ok(sketch)
+    }
+}
+
+impl<H: BucketHasher, S: SignHasher> ApproxTopProcessor<H, S> {
+    /// Serializes the processor (sketch + top-k tracker + policy) to the
+    /// checksummed `CSNP` snapshot format.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let sketch = self.sketch();
+        let tracker = self.tracker();
+        let mut buf =
+            Vec::with_capacity(HEADER + sketch.counters().len() * 8 + tracker.len() * 16 + 96);
+        push_sketch_body(&mut buf, KIND_PROCESSOR, sketch);
+        buf.extend_from_slice(&policy_code(self.policy()).to_le_bytes());
+        buf.extend_from_slice(&(tracker.capacity() as u64).to_le_bytes());
+        let items = tracker.items_desc();
+        buf.extend_from_slice(&(items.len() as u64).to_le_bytes());
+        for (key, value) in items {
+            buf.extend_from_slice(&key.raw().to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        seal(buf)
+    }
+}
+
+impl<H: DrawBucketHasher, S: DrawSignHasher> ApproxTopProcessor<H, S> {
+    /// Restores a processor from snapshot bytes. Resuming observation
+    /// afterwards is bit-identical to never having stopped (asserted by
+    /// the fault-recovery proptests).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (mut r, _) = Reader::open(bytes, KIND_PROCESSOR)?;
+        let sketch = read_sketch(&mut r)?;
+        let policy = policy_from(r.u32()?)?;
+        let capacity = r.u64()? as usize;
+        if capacity == 0 {
+            return Err(CoreError::CorruptSnapshot(
+                "tracker capacity must be positive".into(),
+            ));
+        }
+        let entries = r.u64()? as usize;
+        if entries > capacity {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "{entries} tracker entries exceed capacity {capacity}"
+            )));
+        }
+        if r.remaining() < entries * 16 {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "tracker section needs {} bytes, {} remain",
+                entries * 16,
+                r.remaining()
+            )));
+        }
+        let mut tracker = TopKTracker::new(capacity);
+        for _ in 0..entries {
+            let key = ItemKey(r.u64()?);
+            let value = r.i64()?;
+            // entries ≤ capacity, so every offer lands in the has-room
+            // branch and the rebuilt tracker state is exact.
+            tracker.offer(key, value);
+        }
+        r.finish()?;
+        Ok(Self::from_parts(sketch, tracker, policy))
+    }
+}
+
+/// Writes snapshot bytes to `path` crash-safely: the bytes go to a
+/// sibling temporary file which is fsync'd and renamed into place, so a
+/// crash mid-write never leaves a torn file under the final name.
+pub fn write_snapshot_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("csnp.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads snapshot bytes back from `path`. I/O errors (missing file,
+/// permissions) surface as `io::Error`; corruption is detected later by
+/// the `from_snapshot_bytes` checksum verification.
+pub fn read_snapshot_file(path: &Path) -> io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::CountSketch;
+    use cs_stream::{Stream, Zipf, ZipfStreamKind};
+    use proptest::prelude::*;
+
+    const PARAMS: SketchParams = SketchParams {
+        rows: 5,
+        buckets: 64,
+    };
+
+    fn sketched(stream: &Stream) -> CountSketch {
+        let mut s = CountSketch::new(PARAMS, 42);
+        s.absorb(stream, 1);
+        s
+    }
+
+    #[test]
+    fn sketch_roundtrip_is_bit_identical() {
+        let zipf = Zipf::new(200, 1.0);
+        let s = sketched(&zipf.stream(10_000, 3, ZipfStreamKind::Sampled));
+        let back = CountSketch::from_snapshot_bytes(&s.to_snapshot_bytes()).unwrap();
+        assert_eq!(s.counters(), back.counters());
+        assert_eq!(s.seed(), back.seed());
+        assert_eq!(s.combiner(), back.combiner());
+        assert_eq!((s.rows(), s.buckets()), (back.rows(), back.buckets()));
+    }
+
+    #[test]
+    fn saturation_flags_survive_the_roundtrip() {
+        let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
+        s.update(ItemKey(1), i64::MAX);
+        s.update(ItemKey(1), i64::MAX);
+        assert!(!s.health().is_healthy());
+        let back = CountSketch::from_snapshot_bytes(&s.to_snapshot_bytes()).unwrap();
+        assert_eq!(back.health(), s.health());
+        assert!(back.is_cell_saturated(0, 0));
+    }
+
+    #[test]
+    fn combiner_survives_the_roundtrip() {
+        let s = CountSketch::new(PARAMS, 7).with_combiner(Combiner::TrimmedMean);
+        let back = CountSketch::from_snapshot_bytes(&s.to_snapshot_bytes()).unwrap();
+        assert_eq!(back.combiner(), Combiner::TrimmedMean);
+    }
+
+    #[test]
+    fn processor_roundtrip_preserves_all_state() {
+        let zipf = Zipf::new(100, 1.2);
+        let stream = zipf.stream(5_000, 9, ZipfStreamKind::Sampled);
+        let mut p =
+            ApproxTopProcessor::new(PARAMS, 8, 11).with_policy(HeapPolicy::AlwaysReEstimate);
+        p.observe_stream(&stream);
+        let back =
+            ApproxTopProcessor::<cs_hash::PairwiseHash, cs_hash::PairwiseSign>::from_snapshot_bytes(
+                &p.to_snapshot_bytes(),
+            )
+            .unwrap();
+        assert_eq!(back.sketch().counters(), p.sketch().counters());
+        assert_eq!(back.result().items, p.result().items);
+        assert_eq!(back.policy(), p.policy());
+        assert_eq!(back.tracker().capacity(), p.tracker().capacity());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let s = sketched(&Stream::from_ids([1, 2, 3, 2, 1]));
+        let clean = s.to_snapshot_bytes();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    CountSketch::from_snapshot_bytes(&corrupt).is_err(),
+                    "flip at {byte}:{bit} loaded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_detected() {
+        let s = sketched(&Stream::from_ids(0..50));
+        let clean = s.to_snapshot_bytes();
+        for cut in 0..clean.len() {
+            assert!(
+                CountSketch::from_snapshot_bytes(&clean[..cut]).is_err(),
+                "truncation to {cut} bytes loaded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_checksum_mismatch() {
+        let s = sketched(&Stream::from_ids(0..50));
+        let mut bytes = s.to_snapshot_bytes();
+        bytes[HEADER + 3] ^= 0x40;
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(&bytes),
+            Err(CoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_garbage_is_corrupt_snapshot() {
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(b"not a snapshot"),
+            Err(CoreError::CorruptSnapshot(_))
+        ));
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(&[]),
+            Err(CoreError::CorruptSnapshot(_))
+        ));
+        // Valid checksum but wrong kind: a processor snapshot is not a
+        // sketch snapshot.
+        let mut p = ApproxTopProcessor::new(PARAMS, 4, 1);
+        p.observe(ItemKey(5));
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(&p.to_snapshot_bytes()),
+            Err(CoreError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn loading_never_allocates_from_forged_lengths() {
+        // Forge a snapshot claiming 2^60 cells; the loader must reject it
+        // from the length check, not attempt the allocation. The CRC has
+        // to be fixed up so the structural check is what fires.
+        let s = CountSketch::new(SketchParams::new(1, 1), 0);
+        let mut bytes = s.to_snapshot_bytes();
+        bytes[16..24].copy_from_slice(&(1u64 << 30).to_le_bytes()); // rows
+        bytes[24..32].copy_from_slice(&(1u64 << 30).to_le_bytes()); // buckets
+        let n = bytes.len();
+        let crc = cs_hash::crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            CountSketch::from_snapshot_bytes(&bytes),
+            Err(CoreError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join("cs_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.csnp");
+        let s = sketched(&Stream::from_ids(0..100));
+        write_snapshot_file(&path, &s.to_snapshot_bytes()).unwrap();
+        let bytes = read_snapshot_file(&path).unwrap();
+        let back = CountSketch::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(back.counters(), s.counters());
+        std::fs::remove_file(&path).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_resume_is_bit_identical(
+            ids in prop::collection::vec(0u64..200, 1..300),
+            split_frac in 0.0f64..1.0,
+        ) {
+            // Sketch the prefix, snapshot, restore, sketch the suffix:
+            // counters must equal the uninterrupted run exactly.
+            let split = ((ids.len() as f64) * split_frac) as usize;
+            let mut interrupted = CountSketch::new(PARAMS, 21);
+            for &id in &ids[..split] {
+                interrupted.add(ItemKey(id));
+            }
+            let mut resumed =
+                CountSketch::from_snapshot_bytes(&interrupted.to_snapshot_bytes()).unwrap();
+            for &id in &ids[split..] {
+                resumed.add(ItemKey(id));
+            }
+            let mut uninterrupted = CountSketch::new(PARAMS, 21);
+            for &id in &ids {
+                uninterrupted.add(ItemKey(id));
+            }
+            prop_assert_eq!(resumed.counters(), uninterrupted.counters());
+        }
+
+        #[test]
+        fn prop_processor_resume_is_bit_identical(
+            ids in prop::collection::vec(0u64..100, 1..200),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((ids.len() as f64) * split_frac) as usize;
+            let mut interrupted = ApproxTopProcessor::new(PARAMS, 5, 33);
+            for &id in &ids[..split] {
+                interrupted.observe(ItemKey(id));
+            }
+            let mut resumed = ApproxTopProcessor::<
+                cs_hash::PairwiseHash,
+                cs_hash::PairwiseSign,
+            >::from_snapshot_bytes(&interrupted.to_snapshot_bytes())
+            .unwrap();
+            for &id in &ids[split..] {
+                resumed.observe(ItemKey(id));
+            }
+            let mut uninterrupted = ApproxTopProcessor::new(PARAMS, 5, 33);
+            for &id in &ids {
+                uninterrupted.observe(ItemKey(id));
+            }
+            prop_assert_eq!(resumed.sketch().counters(), uninterrupted.sketch().counters());
+            prop_assert_eq!(resumed.result().items, uninterrupted.result().items);
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = CountSketch::from_snapshot_bytes(&bytes);
+            let _ = ApproxTopProcessor::<
+                cs_hash::PairwiseHash,
+                cs_hash::PairwiseSign,
+            >::from_snapshot_bytes(&bytes);
+        }
+    }
+}

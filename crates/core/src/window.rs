@@ -19,7 +19,6 @@ use crate::params::SketchParams;
 use crate::sketch::{CountSketch, EstimateScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A sliding-window Count-Sketch with top-k tracking.
@@ -41,7 +40,7 @@ use std::collections::VecDeque;
 /// assert_eq!(w.estimate(ItemKey(1)), 0);
 /// assert_eq!(w.estimate(ItemKey(2)), 150);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlidingSketch {
     params: SketchParams,
     seed: u64,
@@ -59,15 +58,9 @@ pub struct SlidingSketch {
     /// Occurrences in the current epoch so far.
     filled: usize,
     /// Candidate tracker over the window.
-    #[serde(skip, default = "default_tracker")]
     tracker: TopKTracker,
     capacity: usize,
-    #[serde(skip)]
     scratch: EstimateScratch,
-}
-
-fn default_tracker() -> TopKTracker {
-    TopKTracker::new(1)
 }
 
 impl SlidingSketch {

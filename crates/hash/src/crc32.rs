@@ -1,0 +1,126 @@
+//! CRC-32 (IEEE 802.3 polynomial), the integrity checksum used by the
+//! stream wire format (`cs-stream::io`, CSTR v2) and the sketch snapshot
+//! format (`cs-core::snapshot`).
+//!
+//! A checksum is the cheapest fault detector the pipeline has: a site
+//! report or a checkpoint that was truncated, bit-flipped in transit, or
+//! torn by a crash mid-write must be *detected* before its counters are
+//! merged into a global sketch — a silently corrupted counter array
+//! skews every subsequent estimate. CRC-32 detects all single-bit errors
+//! and all burst errors up to 32 bits, which covers the fault model the
+//! robustness tests inject.
+//!
+//! The implementation is the standard reflected table-driven one; the
+//! table is built at compile time.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state, for checksumming data produced in pieces
+/// (e.g. a snapshot written section by section).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = vec![0xAB; 64];
+        let clean = crc32(&data);
+        for cut in 0..64 {
+            assert_ne!(crc32(&data[..cut]), clean, "truncation at {cut} undetected");
+        }
+    }
+}

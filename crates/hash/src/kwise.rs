@@ -10,12 +10,11 @@
 use crate::prime;
 use crate::seed::SeedSequence;
 use crate::traits::BucketHasher;
-use serde::{Deserialize, Serialize};
 
 /// A hash function drawn from a k-wise independent polynomial family.
 ///
 /// The independence level equals the number of coefficients.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolynomialHash {
     /// Coefficients `c_0 .. c_{k-1}`, low degree first; `c_{k-1} != 0`.
     coeffs: Vec<u64>,

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crc32;
 pub mod independence;
 pub mod kwise;
 pub mod mix;
@@ -45,6 +46,7 @@ pub mod sign;
 pub mod tabulation;
 pub mod traits;
 
+pub use crc32::{crc32, Crc32};
 pub use kwise::PolynomialHash;
 pub use mix::ItemKey;
 pub use multiply_shift::MultiplyShift;

@@ -12,10 +12,9 @@
 
 use crate::seed::SeedSequence;
 use crate::traits::BucketHasher;
-use serde::{Deserialize, Serialize};
 
 /// A strongly universal multiply-shift hash into `2^d` buckets.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MultiplyShift {
     a: u64,
     b: u64,

@@ -9,10 +9,9 @@
 use crate::prime;
 use crate::seed::SeedSequence;
 use crate::traits::BucketHasher;
-use serde::{Deserialize, Serialize};
 
 /// A single function drawn from the pairwise-independent family.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairwiseHash {
     a: u64,
     b: u64,
@@ -172,10 +171,12 @@ mod tests {
         }
 
         #[test]
-        fn prop_serde_roundtrip(seed: u64, key: u64) {
+        fn prop_redraw_from_same_seed_is_identical(seed: u64, key: u64) {
+            // Snapshots rebuild hashers from (rows, buckets, seed) rather
+            // than serializing them, so the draw must be a pure function
+            // of the seed sequence.
             let h = PairwiseHash::draw(&mut SeedSequence::new(seed), 512);
-            let json = serde_json::to_string(&h).unwrap();
-            let back: PairwiseHash = serde_json::from_str(&json).unwrap();
+            let back = PairwiseHash::draw(&mut SeedSequence::new(seed), 512);
             prop_assert_eq!(h.bucket(key), back.bucket(key));
         }
     }

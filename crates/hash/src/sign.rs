@@ -12,13 +12,12 @@ use crate::kwise::PolynomialHash;
 use crate::pairwise::PairwiseHash;
 use crate::seed::SeedSequence;
 use crate::traits::{BucketHasher, SignHasher};
-use serde::{Deserialize, Serialize};
 
 /// A sign value, `+1` or `-1`.
 ///
 /// Newtype so call sites cannot accidentally feed an arbitrary integer
 /// where a sign is meant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sign(i8);
 
 impl Sign {
@@ -61,7 +60,7 @@ impl std::ops::Neg for Sign {
 }
 
 /// Pairwise-independent sign hash — exactly what the paper's analysis uses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairwiseSign {
     inner: PairwiseHash,
 }
@@ -90,7 +89,7 @@ impl SignHasher for PairwiseSign {
 /// 4-wise independent sign hash (Alon–Matias–Szegedy style), used by the
 /// ablation experiments to check whether extra independence changes the
 /// empirical error (the paper's bounds only need pairwise).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FourWiseSign {
     inner: PolynomialHash,
 }
@@ -193,10 +192,11 @@ mod tests {
         }
 
         #[test]
-        fn prop_serde_roundtrip(seed: u64, key: u64) {
+        fn prop_redraw_from_same_seed_is_identical(seed: u64, key: u64) {
+            // Snapshot recovery redraws sign hashes from the stored seed;
+            // the draw must be a pure function of the seed sequence.
             let s = PairwiseSign::draw(&mut SeedSequence::new(seed));
-            let back: PairwiseSign =
-                serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+            let back = PairwiseSign::draw(&mut SeedSequence::new(seed));
             prop_assert_eq!(s.sign(key), back.sign(key));
         }
     }

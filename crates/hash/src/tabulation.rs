@@ -10,13 +10,12 @@
 
 use crate::seed::SeedSequence;
 use crate::traits::{BucketHasher, SignHasher};
-use serde::{Deserialize, Serialize};
 
 const BYTES: usize = 8;
 const TABLE: usize = 256;
 
 /// A simple tabulation hash into an arbitrary range.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TabulationHash {
     /// 8 tables of 256 random words, flattened row-major.
     tables: Vec<u64>,

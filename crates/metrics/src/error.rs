@@ -2,10 +2,9 @@
 
 use cs_hash::ItemKey;
 use cs_stream::ExactCounter;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate error of a set of `(item, estimate)` pairs versus truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ErrorReport {
     /// Number of items measured.
     pub count: usize,

@@ -3,12 +3,17 @@
 //! Each harness experiment emits one [`ExperimentRecord`] per measured
 //! configuration as a JSON line, so EXPERIMENTS.md numbers can be
 //! regenerated and post-processed without re-parsing ASCII tables.
+//!
+//! The schema is fixed (two strings, two string→f64 maps), so the JSON
+//! codec is hand-rolled here rather than pulled in as a dependency; the
+//! parser is strict about the schema but tolerant of field order and
+//! whitespace.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// One measured data point of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment id, e.g. `"table1"` or `"error_vs_b"`.
     pub experiment: String,
@@ -19,6 +24,26 @@ pub struct ExperimentRecord {
     /// Measured outputs (space, recall, error, ...).
     pub metrics: BTreeMap<String, f64>,
 }
+
+/// Error parsing a JSON experiment line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRecordError {
+    message: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad experiment record at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseRecordError {}
 
 impl ExperimentRecord {
     /// Starts a record.
@@ -45,12 +70,262 @@ impl ExperimentRecord {
 
     /// Serializes to one JSON line.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(self).expect("record is always serializable")
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"experiment\":");
+        write_json_string(&mut out, &self.experiment);
+        out.push_str(",\"algorithm\":");
+        write_json_string(&mut out, &self.algorithm);
+        out.push_str(",\"params\":");
+        write_json_map(&mut out, &self.params);
+        out.push_str(",\"metrics\":");
+        write_json_map(&mut out, &self.metrics);
+        out.push('}');
+        out
     }
 
     /// Parses a JSON line back.
-    pub fn from_json_line(line: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(line)
+    pub fn from_json_line(line: &str) -> Result<Self, ParseRecordError> {
+        Parser::new(line).record()
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_map(out: &mut String, map: &BTreeMap<String, f64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, k);
+        out.push(':');
+        write_json_f64(out, *v);
+    }
+    out.push('}');
+}
+
+fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v}` prints the shortest representation that round-trips.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+/// Minimal recursive-descent parser for the record schema.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseRecordError> {
+        Err(ParseRecordError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseRecordError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseRecordError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            self.pos += 4;
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => out.push(c),
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    if width == 0 || start + width > self.bytes.len() {
+                        return self.err("invalid utf-8");
+                    }
+                    match std::str::from_utf8(&self.bytes[start..start + width]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid utf-8"),
+                    }
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseRecordError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or_else(|| self.err("expected number"), Ok)
+    }
+
+    fn map(&mut self) -> Result<BTreeMap<String, f64>, ParseRecordError> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.insert(key, self.number()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn record(&mut self) -> Result<ExperimentRecord, ParseRecordError> {
+        self.expect(b'{')?;
+        let mut experiment = None;
+        let mut algorithm = None;
+        let mut params = None;
+        let mut metrics = None;
+        if self.peek() == Some(b'}') {
+            return self.err("missing required fields");
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "experiment" => experiment = Some(self.string()?),
+                "algorithm" => algorithm = Some(self.string()?),
+                "params" => params = Some(self.map()?),
+                "metrics" => metrics = Some(self.map()?),
+                other => return self.err(format!("unknown field '{other}'")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing bytes after record");
+        }
+        match (experiment, algorithm, params, metrics) {
+            (Some(experiment), Some(algorithm), Some(params), Some(metrics)) => {
+                Ok(ExperimentRecord {
+                    experiment,
+                    algorithm,
+                    params,
+                    metrics,
+                })
+            }
+            _ => self.err("missing required fields"),
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
     }
 }
 
@@ -83,6 +358,11 @@ mod tests {
     #[test]
     fn bad_json_is_error() {
         assert!(ExperimentRecord::from_json_line("{not json").is_err());
+        assert!(ExperimentRecord::from_json_line("").is_err());
+        assert!(ExperimentRecord::from_json_line("{}").is_err());
+        assert!(ExperimentRecord::from_json_line("{\"experiment\":\"e\"}").is_err());
+        let r = ExperimentRecord::new("e", "a").to_json_line();
+        assert!(ExperimentRecord::from_json_line(&format!("{r} extra")).is_err());
     }
 
     #[test]
@@ -94,5 +374,37 @@ mod tests {
         let a_pos = line.find("\"a\"").unwrap();
         let b_pos = line.find("\"b\"").unwrap();
         assert!(a_pos < b_pos, "BTreeMap keys serialize sorted");
+    }
+
+    #[test]
+    fn field_order_and_whitespace_tolerated() {
+        let line = r#" { "metrics" : { "y" : 3.5 } , "algorithm" : "a" ,
+            "experiment" : "e" , "params" : { } } "#;
+        let r = ExperimentRecord::from_json_line(line).unwrap();
+        assert_eq!(r.experiment, "e");
+        assert_eq!(r.metrics["y"], 3.5);
+        assert!(r.params.is_empty());
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        let r = ExperimentRecord::new("quo\"te\\slash\nnewline", "a");
+        let back = ExperimentRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back.experiment, "quo\"te\\slash\nnewline");
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let r = ExperimentRecord::new("e", "a").param("x", 1.25e-7);
+        let back = ExperimentRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back.params["x"], 1.25e-7);
+    }
+
+    #[test]
+    fn integral_values_keep_decimal_point() {
+        let line = ExperimentRecord::new("e", "a")
+            .param("n", 100000.0)
+            .to_json_line();
+        assert!(line.contains("100000.0"), "{line}");
     }
 }

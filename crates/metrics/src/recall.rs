@@ -2,7 +2,6 @@
 
 use cs_hash::ItemKey;
 use cs_stream::ExactCounter;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Fraction of the true top-`k` present in `reported`.
@@ -29,7 +28,7 @@ pub fn precision_at_k(reported: &[ItemKey], exact: &ExactCounter, k: usize) -> f
 }
 
 /// The two Lemma 5 guarantees, checked exactly against ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApproxTopValidity {
     /// Every reported item has `n_q ≥ (1-ε)·n_k`.
     pub all_reported_heavy: bool,

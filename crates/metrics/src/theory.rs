@@ -19,10 +19,8 @@
 //! logarithms — the experiments compare *shapes* (exponents and
 //! crossovers), not absolute constants.
 
-use serde::{Deserialize, Serialize};
-
 /// Workload parameters for the Table 1 formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZipfWorkload {
     /// Universe size `m`.
     pub m: f64,
@@ -115,7 +113,7 @@ impl ZipfWorkload {
 }
 
 /// One evaluated Table 1 row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1Row {
     /// The workload.
     pub workload: ZipfWorkload,

@@ -1,0 +1,227 @@
+//! Minimal in-repo stand-in for the parts of `criterion` 0.5 this
+//! workspace's benches use: `Criterion`, benchmark groups with
+//! throughput annotations, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Each benchmark runs a fixed number of timed iterations and prints the
+//! mean wall-clock time (plus derived throughput). There is no warm-up,
+//! outlier analysis, or report output — enough to keep the benches
+//! compiling, runnable, and comparable run-over-run on one machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark (upstream decides statistically; the shim is
+/// fixed and overridable via `CRITERION_SHIM_ITERS`).
+fn iterations() -> u32 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration annotation for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier inside a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = iterations();
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut routine: R) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 1,
+        };
+        routine(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 1,
+        };
+        routine(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mean = b.total.as_secs_f64() / f64::from(b.iters.max(1));
+    let mut line = format!("{label:<60} {:>12.3} µs/iter", mean * 1e6);
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            line.push_str(&format!("  {:>10.1} Melem/s", n as f64 / mean / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            line.push_str(&format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / mean / (1 << 20) as f64
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 1,
+        };
+        routine(&mut b);
+        report(&id.to_string(), &b, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran >= 1, "routine must actually run");
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

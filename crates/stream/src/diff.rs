@@ -13,10 +13,9 @@ use crate::zipf::{Zipf, ZipfStreamKind};
 use cs_hash::ItemKey;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Specification of one planted change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChangeSpec {
     /// The item to plant (use ids >= the background universe size to
     /// keep planted items disjoint from the background, or reuse a
@@ -37,7 +36,7 @@ impl ChangeSpec {
 
 /// A pair of streams sharing a background distribution, with planted
 /// changes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamPair {
     /// The first (earlier) stream.
     pub s1: Stream,

@@ -9,11 +9,10 @@
 
 use crate::item::Stream;
 use cs_hash::ItemKey;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Exact per-item counts for a stream.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExactCounter {
     counts: HashMap<ItemKey, u64>,
     total: u64,

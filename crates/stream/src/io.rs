@@ -1,25 +1,35 @@
 //! Compact binary wire format for streams.
 //!
 //! Experiments serialize generated streams so that a workload can be
-//! produced once and replayed across harness invocations. The format is
-//! deliberately trivial and self-describing:
+//! produced once and replayed across harness invocations, and the
+//! distributed pipeline ships site payloads in the same format. The
+//! format is deliberately trivial and self-describing; since v2 it is
+//! also *self-checking*:
 //!
 //! ```text
-//! magic  u32 LE  = 0x4353_5452 ("CSTR")
-//! version u32 LE = 1
-//! len    u64 LE  = number of occurrences
-//! keys   len × u64 LE
+//! magic   u32 LE  = 0x4353_5452 ("CSTR")
+//! version u32 LE  = 2
+//! len     u64 LE  = number of occurrences
+//! keys    len × u64 LE
+//! crc32   u32 LE  = CRC-32 (IEEE) over every preceding byte
 //! ```
+//!
+//! The trailing checksum turns silent corruption into a typed
+//! [`DecodeError::ChecksumMismatch`]: a bit flipped in transit or a file
+//! torn by a crash mid-write can no longer decode into a plausible but
+//! wrong stream. Version 1 (the same layout without the checksum) is
+//! still accepted on decode for payloads written by older builds.
 //!
 //! (A varint/delta encoding would shrink Zipfian streams considerably;
 //! plain fixed-width keeps decode simple and is not a bottleneck here.)
 
 use crate::item::Stream;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cs_hash::crc32::crc32;
 use cs_hash::ItemKey;
 
 const MAGIC: u32 = 0x4353_5452; // "CSTR"
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Errors that can occur while decoding a serialized stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +45,14 @@ pub enum DecodeError {
     BadMagic(u32),
     /// Unknown format version.
     BadVersion(u32),
+    /// The payload's CRC-32 does not match its trailing checksum: the
+    /// bytes were corrupted after encoding (bit flip, torn write, ...).
+    ChecksumMismatch {
+        /// Checksum stored in the trailing field.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -45,26 +63,58 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported stream version {v}"),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "stream checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x} (payload corrupted)"
+            ),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Serializes a stream to the wire format.
-pub fn encode(stream: &Stream) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + stream.len() * 8);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(stream.len() as u64);
-    for key in stream.iter() {
-        buf.put_u64_le(key.raw());
-    }
-    buf.freeze()
+fn read_u32_le(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
 }
 
-/// Deserializes a stream from the wire format.
-pub fn decode(mut buf: &[u8]) -> Result<Stream, DecodeError> {
+fn read_u64_le(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Serializes a stream to the current (v2, checksummed) wire format.
+pub fn encode(stream: &Stream) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(20 + stream.len() * 8);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+    buf.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+    for key in stream.iter() {
+        buf.extend_from_slice(&key.raw().to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Serializes a stream to the legacy v1 format (no checksum). Kept so
+/// tests can cover the compatibility path; new code should use
+/// [`encode`].
+pub fn encode_v1(stream: &Stream) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + stream.len() * 8);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+    buf.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+    for key in stream.iter() {
+        buf.extend_from_slice(&key.raw().to_le_bytes());
+    }
+    buf
+}
+
+/// Deserializes a stream from the wire format (v1 or v2).
+///
+/// v2 payloads are verified against their trailing CRC-32 before any
+/// stream is constructed; corruption yields
+/// [`DecodeError::ChecksumMismatch`] instead of bad data.
+pub fn decode(buf: &[u8]) -> Result<Stream, DecodeError> {
     let header = 16usize;
     if buf.len() < header {
         return Err(DecodeError::Truncated {
@@ -72,28 +122,43 @@ pub fn decode(mut buf: &[u8]) -> Result<Stream, DecodeError> {
             available: buf.len(),
         });
     }
-    let magic = buf.get_u32_le();
+    let magic = read_u32_le(buf, 0);
     if magic != MAGIC {
         return Err(DecodeError::BadMagic(magic));
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
+    let version = read_u32_le(buf, 4);
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(DecodeError::BadVersion(version));
     }
-    let len = buf.get_u64_le() as usize;
+    let len = read_u64_le(buf, 8) as usize;
     let payload = len.checked_mul(8).ok_or(DecodeError::Truncated {
         needed: usize::MAX,
         available: buf.len(),
     })?;
-    if buf.len() < payload {
+    let trailer = if version == VERSION_V2 { 4 } else { 0 };
+    let total = header
+        .checked_add(payload)
+        .and_then(|t| t.checked_add(trailer))
+        .ok_or(DecodeError::Truncated {
+            needed: usize::MAX,
+            available: buf.len(),
+        })?;
+    if buf.len() < total {
         return Err(DecodeError::Truncated {
-            needed: header + payload,
-            available: header + buf.len(),
+            needed: total,
+            available: buf.len(),
         });
     }
+    if version == VERSION_V2 {
+        let stored = read_u32_le(buf, header + payload);
+        let computed = crc32(&buf[..header + payload]);
+        if stored != computed {
+            return Err(DecodeError::ChecksumMismatch { stored, computed });
+        }
+    }
     let mut items = Vec::with_capacity(len);
-    for _ in 0..len {
-        items.push(ItemKey(buf.get_u64_le()));
+    for i in 0..len {
+        items.push(ItemKey(read_u64_le(buf, header + i * 8)));
     }
     Ok(Stream::from_keys(items))
 }
@@ -116,15 +181,23 @@ mod tests {
     }
 
     #[test]
-    fn encoded_size_is_header_plus_keys() {
+    fn encoded_size_is_header_plus_keys_plus_crc() {
         let s = Stream::from_ids(0..100);
-        assert_eq!(encode(&s).len(), 16 + 100 * 8);
+        assert_eq!(encode(&s).len(), 16 + 100 * 8 + 4);
+    }
+
+    #[test]
+    fn v1_payloads_still_decode() {
+        let s = Stream::from_ids([10, 20, 30, 20]);
+        let bytes = encode_v1(&s);
+        assert_eq!(bytes.len(), 16 + 4 * 8, "v1 has no trailer");
+        assert_eq!(decode(&bytes).unwrap(), s);
     }
 
     #[test]
     fn bad_magic_detected() {
         let s = Stream::from_ids([1]);
-        let mut bytes = encode(&s).to_vec();
+        let mut bytes = encode(&s);
         bytes[0] ^= 0xFF;
         assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic(_))));
     }
@@ -132,7 +205,7 @@ mod tests {
     #[test]
     fn bad_version_detected() {
         let s = Stream::from_ids([1]);
-        let mut bytes = encode(&s).to_vec();
+        let mut bytes = encode(&s);
         bytes[4] = 99;
         assert_eq!(decode(&bytes), Err(DecodeError::BadVersion(99)));
     }
@@ -147,14 +220,43 @@ mod tests {
     fn truncated_payload_detected() {
         let s = Stream::from_ids([1, 2, 3]);
         let bytes = encode(&s);
-        let err = decode(&bytes[..bytes.len() - 4]).unwrap_err();
+        let err = decode(&bytes[..bytes.len() - 8]).unwrap_err();
         match err {
             DecodeError::Truncated { needed, available } => {
-                assert_eq!(needed, 16 + 24);
-                assert_eq!(available, 16 + 20);
+                assert_eq!(needed, 16 + 24 + 4);
+                assert_eq!(available, 16 + 24 + 4 - 8);
             }
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The satellite guarantee: corruption is *detected*, not merely
+        // survived. Flip every bit of a small encoding in turn.
+        let s = Stream::from_ids([7, 8, 9]);
+        let clean = encode(&s);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    decode(&corrupt).is_err(),
+                    "flip at {byte}:{bit} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_flip_is_checksum_mismatch() {
+        let s = Stream::from_ids([1, 2, 3]);
+        let mut bytes = encode(&s);
+        bytes[20] ^= 0x10; // inside the key payload
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -166,6 +268,15 @@ mod tests {
             available: 4,
         };
         assert!(e.to_string().contains("10"));
+        let e = DecodeError::ChecksumMismatch {
+            stored: 0xAAAA_0000,
+            computed: 0x0000_BBBB,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("aaaa0000") && msg.contains("0000bbbb"),
+            "{msg}"
+        );
     }
 
     #[test]

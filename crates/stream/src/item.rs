@@ -9,11 +9,10 @@
 //! [`Stream::iter`].
 
 use cs_hash::ItemKey;
-use serde::{Deserialize, Serialize};
 use std::hash::Hash;
 
 /// An in-memory data stream: a sequence of item occurrences.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Stream {
     items: Vec<ItemKey>,
 }
@@ -180,10 +179,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn wire_roundtrip() {
         let s = Stream::from_ids([5, 6, 5]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Stream = serde_json::from_str(&json).unwrap();
+        let back = crate::io::decode(&crate::io::encode(&s)).unwrap();
         assert_eq!(s, back);
     }
 }

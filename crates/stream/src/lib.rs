@@ -16,13 +16,16 @@
 //!   space bounds ([`moments`]),
 //! * paired-stream generators with planted frequency changes for the
 //!   §4.2 max-change experiments ([`diff`]),
-//! * a compact binary wire format for streams ([`io`]).
+//! * a compact binary wire format for streams ([`io`]),
+//! * a seeded fault injector for robustness and crash-recovery tests
+//!   ([`fault`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod diff;
 pub mod exact;
+pub mod fault;
 pub mod generators;
 pub mod io;
 pub mod item;
@@ -35,6 +38,7 @@ pub mod zipf;
 
 pub use diff::{ChangeSpec, StreamPair};
 pub use exact::ExactCounter;
+pub use fault::{Fault, FaultInjector};
 pub use generators::{
     adversarial_boundary_stream, constant_stream, sequential_stream, uniform_stream,
 };

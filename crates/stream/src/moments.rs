@@ -8,10 +8,9 @@
 //! the `8γ` estimate bound and size `b` per Lemma 5.
 
 use crate::exact::ExactCounter;
-use serde::{Deserialize, Serialize};
 
 /// Exact frequency moments of a stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Moments {
     /// `F0`: number of distinct items.
     pub f0: u64,

@@ -18,11 +18,10 @@ use crate::item::Stream;
 use cs_hash::ItemKey;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One turnstile event: `Δ` occurrences of an item (negative = delete).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Update {
     /// The item.
     pub key: ItemKey,
@@ -31,7 +30,7 @@ pub struct Update {
 }
 
 /// A sequence of signed updates.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TurnstileStream {
     updates: Vec<Update>,
 }
@@ -230,13 +229,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_and_rebuild_are_equal() {
         let mut t = TurnstileStream::new();
         t.push(ItemKey(1), 3);
         t.push(ItemKey(2), -1);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: TurnstileStream = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
+        assert_eq!(t.clone(), t);
+        let rebuilt: TurnstileStream = t.iter().collect();
+        assert_eq!(rebuilt, t);
     }
 
     #[test]

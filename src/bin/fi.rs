@@ -5,21 +5,14 @@
 //! fi diff -k 10 day1.txt day2.txt    # biggest frequency changes (§4.2)
 //! fi iceberg --phi 0.01 access.log   # everything above 1% of traffic
 //! cat stream | fi top                # reads stdin when no file given
+//! fi top --snapshot s.csnp log.1     # persist state, then later
+//! fi top --resume s.csnp log.2       # continue counting across runs
 //! ```
+//!
+//! Exit codes: 0 success, 2 bad invocation, 3 I/O failure, 4 corrupt
+//! input (e.g. a torn or bit-flipped snapshot).
 
 use frequent_items::cli;
-use std::io::Read;
-
-fn read_input(path: Option<&String>) -> std::io::Result<String> {
-    match path {
-        Some(p) => std::fs::read_to_string(p),
-        None => {
-            let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf)?;
-            Ok(buf)
-        }
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,37 +20,18 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fi <top|diff|iceberg> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] [--phi P] [--eps E] [FILE...]");
-            std::process::exit(2);
+            eprintln!(
+                "usage: fi <top|diff|iceberg> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] \
+                 [--phi P] [--eps E] [--algorithm A] [--snapshot PATH] [--resume PATH] [FILE...]"
+            );
+            std::process::exit(cli::EXIT_USAGE);
         }
     };
-    let report = match opts.command.as_str() {
-        "top" => {
-            let text = read_input(opts.files.first()).unwrap_or_else(|e| {
-                eprintln!("error reading input: {e}");
-                std::process::exit(1);
-            });
-            cli::run_top(&opts, &text)
+    match cli::run(&opts) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
-        "diff" => {
-            let t1 = std::fs::read_to_string(&opts.files[0]).unwrap_or_else(|e| {
-                eprintln!("error reading {}: {e}", opts.files[0]);
-                std::process::exit(1);
-            });
-            let t2 = std::fs::read_to_string(&opts.files[1]).unwrap_or_else(|e| {
-                eprintln!("error reading {}: {e}", opts.files[1]);
-                std::process::exit(1);
-            });
-            cli::run_diff(&opts, &t1, &t2)
-        }
-        "iceberg" => {
-            let text = read_input(opts.files.first()).unwrap_or_else(|e| {
-                eprintln!("error reading input: {e}");
-                std::process::exit(1);
-            });
-            cli::run_iceberg(&opts, &text)
-        }
-        _ => unreachable!("parse_args validates the subcommand"),
-    };
-    print!("{report}");
+    }
 }

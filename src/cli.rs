@@ -4,17 +4,80 @@
 //! text pipeline are unit-testable; `src/bin/fi.rs` is a thin shell.
 //!
 //! ```text
-//! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S] [FILE]
+//! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S]
+//!        [--snapshot PATH] [--resume PATH] [FILE]
 //!     one-pass APPROXTOP over whitespace-separated items
 //! fi diff [-k N] [-t ROWS] [-b BUCKETS] [--seed S] FILE1 FILE2
 //!     §4.2 max-change between two item files
 //! fi iceberg --phi P [--eps E] [-t ROWS] [-b BUCKETS] [FILE]
 //!     items above a frequency threshold
 //! ```
+//!
+//! `--resume` restores APPROXTOP state from a checksummed snapshot
+//! written by an earlier `--snapshot` run, so a long-lived counting job
+//! survives restarts without rereading history. Failures map to
+//! distinct exit codes (see [`CliError`]): bad invocation, I/O failure,
+//! and corrupt input are distinguishable to calling scripts.
 
 use crate::prelude::*;
 use crate::sketch::iceberg::IcebergProcessor;
 use std::collections::HashMap;
+use std::path::Path;
+
+/// A CLI failure, carrying the distinct process exit code for its class.
+///
+/// The codes are part of the tool's contract: wrapper scripts retry
+/// `Io`, alert on `Corrupt`, and fix their invocation on `Usage`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself is wrong (exit code 2).
+    Usage(String),
+    /// The OS refused a read or write (exit code 3).
+    Io {
+        /// File involved, or `-` for stdin.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// A file was read fine but its contents are invalid — a torn or
+    /// bit-flipped snapshot, typically (exit code 4).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// The typed decode error.
+        message: String,
+    },
+}
+
+/// Exit code for [`CliError::Usage`].
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for [`CliError::Io`].
+pub const EXIT_IO: i32 = 3;
+/// Exit code for [`CliError::Corrupt`].
+pub const EXIT_CORRUPT: i32 = 4;
+
+impl CliError {
+    /// The process exit code this error class maps to (never 0).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Io { .. } => EXIT_IO,
+            CliError::Corrupt { .. } => EXIT_CORRUPT,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Corrupt { path, message } => write!(f, "{path}: corrupt: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +99,10 @@ pub struct Options {
     /// Algorithm for `top`: count-sketch (default), space-saving, kps,
     /// lossy.
     pub algorithm: String,
+    /// Write a state snapshot here after processing (`top` only).
+    pub snapshot: Option<String>,
+    /// Restore state from this snapshot before processing (`top` only).
+    pub resume: Option<String>,
     /// Positional file arguments.
     pub files: Vec<String>,
 }
@@ -51,6 +118,8 @@ impl Default for Options {
             phi: 0.01,
             eps: 0.002,
             algorithm: "count-sketch".into(),
+            snapshot: None,
+            resume: None,
             files: Vec::new(),
         }
     }
@@ -99,12 +168,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err(format!("unknown algorithm '{}'", opts.algorithm));
                 }
             }
+            "--snapshot" => opts.snapshot = Some(flag_value("--snapshot")?.clone()),
+            "--resume" => opts.resume = Some(flag_value("--resume")?.clone()),
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             file => opts.files.push(file.to_string()),
         }
     }
     if opts.k == 0 || opts.rows == 0 || opts.buckets == 0 {
         return Err("k, rows and buckets must be positive".into());
+    }
+    if (opts.snapshot.is_some() || opts.resume.is_some())
+        && (opts.command != "top" || opts.algorithm != "count-sketch")
+    {
+        return Err("--snapshot/--resume require 'top' with the count-sketch algorithm".into());
     }
     match opts.command.as_str() {
         "diff" if opts.files.len() != 2 => Err("diff needs exactly two files".into()),
@@ -134,19 +210,92 @@ fn label(labels: &HashMap<ItemKey, String>, key: ItemKey) -> &str {
     labels.get(&key).map(String::as_str).unwrap_or("<?>")
 }
 
-/// Runs `fi top` over input text; returns the report.
-pub fn run_top(opts: &Options, text: &str) -> String {
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.into(),
+        message: e.to_string(),
+    })
+}
+
+fn read_stdin() -> Result<String, CliError> {
+    use std::io::Read;
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .map_err(|e| CliError::Io {
+            path: "-".into(),
+            message: e.to_string(),
+        })?;
+    Ok(buf)
+}
+
+fn read_input(path: Option<&String>) -> Result<String, CliError> {
+    match path {
+        Some(p) => read_file(p),
+        None => read_stdin(),
+    }
+}
+
+/// Parses, dispatches and runs a full invocation (including file/stdin
+/// I/O); the binary maps the error to its exit code.
+pub fn run(opts: &Options) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "top" => {
+            let text = read_input(opts.files.first())?;
+            run_top(opts, &text)
+        }
+        "diff" => {
+            let t1 = read_file(&opts.files[0])?;
+            let t2 = read_file(&opts.files[1])?;
+            Ok(run_diff(opts, &t1, &t2))
+        }
+        "iceberg" => {
+            let text = read_input(opts.files.first())?;
+            Ok(run_iceberg(opts, &text))
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// Runs `fi top` over input text; returns the report. With
+/// `opts.resume` the processor state is restored from a snapshot first
+/// (a torn or bit-flipped file yields [`CliError::Corrupt`], never a
+/// panic or silently wrong counts); with `opts.snapshot` the final
+/// state is persisted atomically afterwards.
+pub fn run_top(opts: &Options, text: &str) -> Result<String, CliError> {
     use cs_baselines::{KpsFrequent, LossyCounting, SpaceSaving, StreamSummary};
     let (stream, labels) = tokenize(text);
     let items: Vec<(ItemKey, i64)> = match opts.algorithm.as_str() {
         "count-sketch" => {
-            approx_top(
-                &stream,
-                opts.k,
-                SketchParams::new(opts.rows, opts.buckets),
-                opts.seed,
-            )
-            .items
+            let mut p = match &opts.resume {
+                Some(path) => {
+                    let bytes = read_snapshot_file(Path::new(path)).map_err(|e| CliError::Io {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    })?;
+                    <ApproxTopProcessor>::from_snapshot_bytes(&bytes).map_err(|e| {
+                        CliError::Corrupt {
+                            path: path.clone(),
+                            message: e.to_string(),
+                        }
+                    })?
+                }
+                None => ApproxTopProcessor::new(
+                    SketchParams::new(opts.rows, opts.buckets),
+                    opts.k,
+                    opts.seed,
+                ),
+            };
+            p.observe_stream(&stream);
+            if let Some(path) = &opts.snapshot {
+                write_snapshot_file(Path::new(path), &p.to_snapshot_bytes()).map_err(|e| {
+                    CliError::Io {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    }
+                })?;
+            }
+            p.result().items
         }
         other => {
             let mut alg: Box<dyn StreamSummary> = match other {
@@ -173,7 +322,7 @@ pub fn run_top(opts: &Options, text: &str) -> String {
     for (key, est) in &items {
         out.push_str(&format!("{:>10}  {}\n", est, label(&labels, *key)));
     }
-    out
+    Ok(out)
 }
 
 /// Runs `fi diff` over two input texts; returns the report.
@@ -283,7 +432,7 @@ mod tests {
             ..Default::default()
         };
         let text = "x ".repeat(100) + &"y ".repeat(30) + "z";
-        let report = run_top(&opts, &text);
+        let report = run_top(&opts, &text).unwrap();
         let first_line = report.lines().nth(1).unwrap();
         assert!(first_line.contains('x'), "{report}");
         assert!(first_line.trim().starts_with("100"), "{report}");
@@ -324,8 +473,135 @@ mod tests {
             command: "top".into(),
             ..Default::default()
         };
-        let report = run_top(&opts, "");
+        let report = run_top(&opts, "").unwrap();
         assert!(report.contains("top-10 of 0 occurrences"));
+    }
+
+    #[test]
+    fn parse_snapshot_and_resume_flags() {
+        let o = parse_args(&args("top --snapshot s.csnp --resume r.csnp in.txt")).unwrap();
+        assert_eq!(o.snapshot.as_deref(), Some("s.csnp"));
+        assert_eq!(o.resume.as_deref(), Some("r.csnp"));
+        // Only `top` with the count-sketch algorithm has resumable state.
+        assert!(parse_args(&args("diff --snapshot s.csnp a b")).is_err());
+        assert!(parse_args(&args("top --algorithm lossy --resume r.csnp")).is_err());
+        assert!(parse_args(&args("top --snapshot")).is_err());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let codes = [
+            CliError::Usage("x".into()).exit_code(),
+            CliError::Io {
+                path: "f".into(),
+                message: "m".into(),
+            }
+            .exit_code(),
+            CliError::Corrupt {
+                path: "f".into(),
+                message: "m".into(),
+            }
+            .exit_code(),
+        ];
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes collide: {codes:?}");
+    }
+
+    #[test]
+    fn cli_error_display_names_the_file() {
+        let e = CliError::Corrupt {
+            path: "state.csnp".into(),
+            message: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("state.csnp") && msg.contains("corrupt"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn run_reports_missing_file_as_io_error() {
+        let opts = parse_args(&args("top /nonexistent/fi-test-input.txt")).unwrap();
+        match run(&opts) {
+            Err(CliError::Io { path, .. }) => assert!(path.contains("nonexistent")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_then_resume_continues_the_count() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-snapshot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("state.csnp").to_string_lossy().into_owned();
+
+        // Session 1: count and persist.
+        let mut opts = Options {
+            command: "top".into(),
+            k: 2,
+            snapshot: Some(snap.clone()),
+            ..Default::default()
+        };
+        run_top(&opts, &"x ".repeat(60)).unwrap();
+
+        // Session 2: resume and keep counting; totals span both runs.
+        opts.snapshot = None;
+        opts.resume = Some(snap.clone());
+        let report = run_top(&opts, &"x ".repeat(40)).unwrap();
+        assert!(report.contains("100"), "expected combined count: {report}");
+
+        // One uninterrupted session over everything agrees.
+        let oneshot = run_top(
+            &Options {
+                command: "top".into(),
+                k: 2,
+                ..Default::default()
+            },
+            &"x ".repeat(100),
+        )
+        .unwrap();
+        assert_eq!(report.lines().nth(1), oneshot.lines().nth(1));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_corrupt_snapshot_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("state.csnp").to_string_lossy().into_owned();
+
+        let mut opts = Options {
+            command: "top".into(),
+            snapshot: Some(snap.clone()),
+            ..Default::default()
+        };
+        run_top(&opts, "a b c").unwrap();
+
+        // Flip one byte mid-file: detection, not a panic or bad counts.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        opts.snapshot = None;
+        opts.resume = Some(snap.clone());
+        match run_top(&opts, "d e f") {
+            Err(e @ CliError::Corrupt { .. }) => assert_eq!(e.exit_code(), EXIT_CORRUPT),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+
+        // A missing snapshot is an I/O error, distinct from corruption.
+        opts.resume = Some(dir.join("absent.csnp").to_string_lossy().into_owned());
+        match run_top(&opts, "d e f") {
+            Err(e @ CliError::Io { .. }) => assert_eq!(e.exit_code(), EXIT_IO),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
@@ -358,7 +634,7 @@ mod algorithm_tests {
                 algorithm: alg.into(),
                 ..Default::default()
             };
-            let report = run_top(&opts, &text);
+            let report = run_top(&opts, &text).unwrap();
             let first = report.lines().nth(1).unwrap_or("");
             assert!(first.contains("hot"), "{alg}: {report}");
         }

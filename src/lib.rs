@@ -72,10 +72,15 @@ pub mod prelude {
     pub use cs_core::approx_top::{approx_top, ApproxTopProcessor, ApproxTopResult};
     pub use cs_core::builder::CountSketchBuilder;
     pub use cs_core::candidate_top::{candidate_top_one_pass, candidate_top_two_pass};
+    pub use cs_core::distributed::{
+        ExclusionReason, MergeReport, QuorumCoordinator, QuorumOutcome, RetryPolicy,
+    };
     pub use cs_core::maxchange::{max_change, DiffSketch, MaxChangeResult};
-    pub use cs_core::{CountSketch, FastCountSketch, SketchParams};
+    pub use cs_core::sketch::{CheckedEstimate, SketchHealth};
+    pub use cs_core::snapshot::{read_snapshot_file, write_snapshot_file};
+    pub use cs_core::{CoreError, CountSketch, FastCountSketch, SketchParams};
     pub use cs_hash::ItemKey;
-    pub use cs_stream::{ExactCounter, Stream, Zipf, ZipfStreamKind};
+    pub use cs_stream::{ExactCounter, Fault, FaultInjector, Stream, Zipf, ZipfStreamKind};
 }
 
 #[cfg(test)]

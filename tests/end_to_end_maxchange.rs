@@ -57,17 +57,18 @@ fn matches_exact_diff_oracle() {
 
 #[test]
 fn serialized_sketches_subtract_across_sessions() {
-    // Day 1: sketch the stream and serialize (as a monitoring system
+    // Day 1: sketch the stream and snapshot it (as a monitoring system
     // would persist it).
     let p = pair();
     let params = SketchParams::new(7, 1024);
     let mut day1 = CountSketch::new(params, 42);
     day1.absorb(&p.s1, 1);
-    let stored = serde_json::to_vec(&day1).expect("serialize");
+    let stored = day1.to_snapshot_bytes();
 
-    // Day 2 (fresh session): deserialize and subtract from today's
-    // sketch. Works because the hash functions travel with the sketch.
-    let day1_restored: CountSketch = serde_json::from_slice(&stored).expect("deserialize");
+    // Day 2 (fresh session): restore and subtract from today's sketch.
+    // Works because the hash functions rebuild deterministically from
+    // the (rows, buckets, seed) stored in the snapshot header.
+    let day1_restored = CountSketch::from_snapshot_bytes(&stored).expect("restore");
     let mut day2 = CountSketch::new(params, 42);
     day2.absorb(&p.s2, 1);
     let diff = DiffSketch::from_sketches(&day1_restored, &day2).unwrap();

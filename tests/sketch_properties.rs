@@ -75,16 +75,15 @@ proptest! {
         prop_assert_eq!(par.counters(), seq.counters());
     }
 
-    /// Serde round-trips preserve every counter and every estimate.
+    /// Snapshot round-trips preserve every counter and every estimate.
     #[test]
-    fn serde_preserves_sketch(
+    fn snapshot_preserves_sketch(
         seed: u64,
         ids in prop::collection::vec(0u64..50, 0..150),
     ) {
         let mut s = CountSketch::new(SketchParams::new(3, 32), seed);
         s.absorb(&Stream::from_ids(ids.iter().copied()), 1);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CountSketch = serde_json::from_str(&json).unwrap();
+        let back = CountSketch::from_snapshot_bytes(&s.to_snapshot_bytes()).unwrap();
         prop_assert_eq!(s.counters(), back.counters());
         for id in 0..50u64 {
             prop_assert_eq!(s.estimate(ItemKey(id)), back.estimate(ItemKey(id)));
