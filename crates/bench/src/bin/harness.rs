@@ -1,7 +1,7 @@
 //! The experiment harness: one subcommand per table/figure.
 //!
 //! ```text
-//! harness <experiment> [--small] [--records <path>]
+//! harness <experiment> [--small] [--records <path>] [--bench-json <path>]
 //!
 //! experiments:
 //!   table1            empirical Table 1 (SAMPLING / KPS / Count-Sketch / Space-Saving)
@@ -17,12 +17,26 @@
 //!   hierarchical      1-pass hierarchical max-change vs the 2-pass §4.2 algorithm
 //!   throughput        update/query throughput of every algorithm
 //!   report            re-render stored --records JSONL as tables
+//!   check-throughput  compare a BENCH_throughput.json against a baseline
 //!   all               every experiment above
 //! ```
 //!
 //! `--small` runs the reduced test-scale workload (seconds instead of
 //! minutes). `--records <path>` appends JSON-line records for each data
-//! point.
+//! point. The throughput experiment additionally writes a
+//! machine-readable `BENCH_throughput.json` (default: current directory;
+//! override with `--bench-json <path>`).
+//!
+//! `check-throughput` is the CI regression gate:
+//!
+//! ```text
+//! harness check-throughput [--baseline ci/throughput_baseline.json]
+//!                          [--current BENCH_throughput.json]
+//!                          [--algorithm count-sketch] [--tolerance 0.2]
+//! ```
+//!
+//! exits non-zero if the algorithm's update throughput in `--current`
+//! falls more than `tolerance` below the baseline.
 
 use cs_bench::experiments::{
     ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, payload,
@@ -33,9 +47,71 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|report|all> [--small] [--records <path>]"
+        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|report|check-throughput|all> [--small] [--records <path>] [--bench-json <path>]"
     );
     std::process::exit(2);
+}
+
+/// The current short git revision, or `"unknown"` outside a checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// `check-throughput`: compares the `count-sketch` (or `--algorithm`)
+/// update rate in `--current` against `--baseline`, failing the process
+/// if it regressed by more than `--tolerance` (fraction, default 0.2).
+fn check_throughput(args: &[String]) -> ! {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = get("--baseline").unwrap_or_else(|| "ci/throughput_baseline.json".into());
+    let current_path = get("--current").unwrap_or_else(|| "BENCH_throughput.json".into());
+    let algorithm = get("--algorithm").unwrap_or_else(|| "count-sketch".into());
+    let tolerance: f64 = get("--tolerance")
+        .map(|s| s.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.2);
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let baseline = throughput::parse_bench_json(&read(&baseline_path));
+    let current = throughput::parse_bench_json(&read(&current_path));
+    let pick = |map: &std::collections::BTreeMap<String, f64>, path: &str| {
+        *map.get(&algorithm).unwrap_or_else(|| {
+            eprintln!("no '{algorithm}' record in {path}");
+            std::process::exit(1);
+        })
+    };
+    let base = pick(&baseline, &baseline_path);
+    let cur = pick(&current, &current_path);
+    let floor = base * (1.0 - tolerance);
+    if cur < floor {
+        eprintln!(
+            "FAIL: {algorithm} update throughput {cur:.1} Mops/s is below \
+             {floor:.1} Mops/s ({:.0}% tolerance on baseline {base:.1})",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {algorithm} update throughput {cur:.1} Mops/s >= {floor:.1} Mops/s \
+         ({:.0}% tolerance on baseline {base:.1})",
+        tolerance * 100.0
+    );
+    std::process::exit(0);
 }
 
 fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
@@ -85,6 +161,9 @@ fn main() {
         usage();
     }
     let experiment = args[0].as_str();
+    if experiment == "check-throughput" {
+        check_throughput(&args[1..]);
+    }
     // `harness report --records <path>` re-renders stored records
     // without running anything.
     if experiment == "report" {
@@ -140,6 +219,17 @@ fn main() {
             for r in &out.records {
                 writeln!(f, "{}", r.to_json_line()).expect("write records");
             }
+        }
+        if name == "throughput" {
+            let path = args
+                .iter()
+                .position(|a| a == "--bench-json")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_throughput.json".into());
+            let json = throughput::bench_json(&out, &scale, &git_rev());
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("[harness] wrote {path}");
         }
     }
 }

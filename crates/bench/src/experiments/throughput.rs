@@ -2,6 +2,13 @@
 //! algorithm on one Zipf(1.0) stream (criterion gives precise per-op
 //! numbers; this gives EXPERIMENTS.md one comparable table without
 //! parsing criterion output).
+//!
+//! Every number is the **median of `scale.trials` independent timed
+//! runs** (fresh algorithm instance per run): single-shot wall-clock
+//! timings on shared/virtualized hardware swing by tens of percent, and
+//! the median is the standard robust summary. The harness additionally
+//! serializes the table as `BENCH_throughput.json` (see [`bench_json`])
+//! so the perf trajectory is machine-checkable across revisions.
 
 use crate::config::Scale;
 use crate::experiments::ExperimentOutput;
@@ -13,13 +20,64 @@ use cs_core::approx_top::ApproxTopProcessor;
 use cs_core::{CountSketch, FastCountSketch, SketchParams};
 use cs_hash::ItemKey;
 use cs_metrics::experiment::ExperimentRecord;
+use cs_metrics::stats::median;
 use cs_metrics::table::fmt_num;
 use cs_metrics::Table;
 use cs_stream::{Stream, Zipf, ZipfStreamKind};
+use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Rows × buckets every sketch-shaped algorithm in the table uses.
+const ROWS: usize = 5;
+const BUCKETS: usize = 1024;
+/// Each query trial runs this many passes over the 1000 probe keys.
+const QUERY_ROUNDS: usize = 100;
 
 fn mops(ops: usize, secs: f64) -> f64 {
     ops as f64 / secs / 1e6
+}
+
+/// Optional point-query closure handed to [`measure`].
+type QueryFn<'a, A> = Option<&'a dyn Fn(&A, ItemKey) -> u64>;
+
+/// Times `trials` fresh ingest runs and (optionally) query sweeps;
+/// returns `(median update Mops/s, median query Mops/s)` with the query
+/// half `NaN` when `query` is `None`.
+fn measure<A>(
+    trials: usize,
+    stream: &Stream,
+    probes: &[ItemKey],
+    mut ingest: impl FnMut(&Stream) -> A,
+    query: QueryFn<'_, A>,
+) -> (f64, f64) {
+    let mut upd = Vec::with_capacity(trials);
+    let mut qry = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        let alg = ingest(stream);
+        upd.push(mops(stream.len(), start.elapsed().as_secs_f64()));
+        if let Some(q) = query {
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..QUERY_ROUNDS {
+                for &p in probes {
+                    acc = acc.wrapping_add(q(&alg, p));
+                }
+            }
+            qry.push(mops(
+                QUERY_ROUNDS * probes.len(),
+                start.elapsed().as_secs_f64(),
+            ));
+            std::hint::black_box(acc);
+        }
+        std::hint::black_box(&alg);
+    }
+    let q = if qry.is_empty() {
+        f64::NAN
+    } else {
+        median(&qry)
+    };
+    (median(&upd), q)
 }
 
 /// Runs the throughput table.
@@ -27,13 +85,14 @@ pub fn run(scale: &Scale) -> ExperimentOutput {
     let zipf = Zipf::new(scale.m, 1.0);
     let stream = zipf.stream(scale.n, 0x77, ZipfStreamKind::Sampled);
     let probes: Vec<ItemKey> = (0..1000u64).map(ItemKey).collect();
-    let params = SketchParams::new(5, 1024);
+    let params = SketchParams::new(ROWS, BUCKETS);
+    let trials = scale.trials.max(1) as usize;
 
     let mut out = ExperimentOutput::default();
     let mut table = Table::new(
         format!(
-            "Throughput on Zipf(1.0), n={}, m={} (Mops/s; query = 1000 point probes)",
-            scale.n, scale.m
+            "Throughput on Zipf(1.0), n={}, m={} (Mops/s, median of {} trials; query = 1000 point probes)",
+            scale.n, scale.m, trials
         ),
         &["algorithm", "update Mops/s", "query Mops/s"],
     );
@@ -51,109 +110,213 @@ pub fn run(scale: &Scale) -> ExperimentOutput {
         out.records.push(
             ExperimentRecord::new("throughput", name)
                 .param("n", scale.n as f64)
+                .param("m", scale.m as f64)
+                .param("z", 1.0)
+                .param("trials", trials as f64)
+                .param("rows", ROWS as f64)
+                .param("buckets", BUCKETS as f64)
                 .metric("update_mops", update)
                 .metric("query_mops", if query.is_nan() { -1.0 } else { query }),
         );
     };
 
-    // Count-Sketch (bare) + fast variant.
-    {
-        let start = Instant::now();
-        let mut s = CountSketch::new(params, 1);
-        s.absorb(&stream, 1);
-        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        let mut acc = 0i64;
-        for _ in 0..100 {
-            for &p in &probes {
-                acc = acc.wrapping_add(s.estimate(p));
-            }
-        }
-        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
-        std::hint::black_box(acc);
-        push("count-sketch", upd, q);
-    }
-    {
-        let start = Instant::now();
-        let mut s = FastCountSketch::new(params, 1);
-        s.absorb(&stream, 1);
-        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        let mut acc = 0i64;
-        for _ in 0..100 {
-            for &p in &probes {
-                acc = acc.wrapping_add(s.estimate(p));
-            }
-        }
-        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
-        std::hint::black_box(acc);
-        push("count-sketch (fast hashes)", upd, q);
-    }
-    // Full APPROXTOP loop.
-    {
-        let start = Instant::now();
-        let mut p = ApproxTopProcessor::new(params, scale.k, 1);
-        p.observe_stream(&stream);
-        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
-        std::hint::black_box(p.result().items.len());
-        push("count-sketch + heap", upd, f64::NAN);
-    }
+    // Count-Sketch: batched absorb (the default ingestion path), the
+    // per-item scalar loop it replaced, and the fast-hash variant.
+    let (upd, q) = measure(
+        trials,
+        &stream,
+        &probes,
+        |st| {
+            let mut s = CountSketch::new(params, 1);
+            s.absorb(st, 1);
+            s
+        },
+        Some(&|s: &CountSketch, p| s.estimate(p) as u64),
+    );
+    push("count-sketch", upd, q);
 
-    // Baselines through the trait.
-    let run_summary = |mut alg: Box<dyn StreamSummary>, stream: &Stream| -> (f64, f64) {
-        let start = Instant::now();
-        alg.process_stream(stream);
-        let upd = mops(stream.len(), start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        let mut acc = 0u64;
-        for _ in 0..100 {
-            for &p in &probes {
-                acc = acc.wrapping_add(alg.estimate(p).unwrap_or(0));
+    let (upd, q) = measure(
+        trials,
+        &stream,
+        &probes,
+        |st| {
+            let mut s = CountSketch::new(params, 1);
+            for key in st.iter() {
+                s.update(key, 1);
             }
-        }
-        let q = mops(100 * probes.len(), start.elapsed().as_secs_f64());
-        std::hint::black_box(acc);
-        (upd, q)
-    };
-    let baselines: Vec<(&str, Box<dyn StreamSummary>)> = vec![
-        ("sampling", Box::new(SamplingAlgorithm::new(0.01, 2))),
+            s
+        },
+        Some(&|s: &CountSketch, p| s.estimate(p) as u64),
+    );
+    push("count-sketch (scalar update)", upd, q);
+
+    let (upd, q) = measure(
+        trials,
+        &stream,
+        &probes,
+        |st| {
+            let mut s = FastCountSketch::new(params, 1);
+            s.absorb(st, 1);
+            s
+        },
+        Some(&|s: &FastCountSketch, p| s.estimate(p) as u64),
+    );
+    push("count-sketch (fast hashes)", upd, q);
+
+    // Full APPROXTOP loop (sketch + heap maintenance; no point queries):
+    // the block-amortized path and the paper-verbatim per-item rule.
+    let (upd, _) = measure(
+        trials,
+        &stream,
+        &probes,
+        |st| {
+            let mut p = ApproxTopProcessor::new(params, scale.k, 1);
+            p.observe_batch(st.as_slice());
+            p
+        },
+        None::<&dyn Fn(&ApproxTopProcessor, ItemKey) -> u64>,
+    );
+    push("count-sketch + heap", upd, f64::NAN);
+
+    let (upd, _) = measure(
+        trials,
+        &stream,
+        &probes,
+        |st| {
+            let mut p = ApproxTopProcessor::new(params, scale.k, 1);
+            p.observe_stream(st);
+            p
+        },
+        None::<&dyn Fn(&ApproxTopProcessor, ItemKey) -> u64>,
+    );
+    push("count-sketch + heap (per-item)", upd, f64::NAN);
+
+    // Baselines through the trait (process_stream now feeds the batch
+    // path, which defaults to the per-item loop for all of these).
+    type Factory = Box<dyn Fn() -> Box<dyn StreamSummary>>;
+    let baselines: Vec<(&str, Factory)> = vec![
+        (
+            "sampling",
+            Box::new(|| Box::new(SamplingAlgorithm::new(0.01, 2))),
+        ),
         (
             "concise-samples",
-            Box::new(ConciseSamples::new(1000, 0.9, 3)),
+            Box::new(|| Box::new(ConciseSamples::new(1000, 0.9, 3))),
         ),
         (
             "counting-samples",
-            Box::new(CountingSamples::new(1000, 0.9, 4)),
+            Box::new(|| Box::new(CountingSamples::new(1000, 0.9, 4))),
         ),
-        ("kps-frequent", Box::new(KpsFrequent::with_capacity(1000))),
-        ("lossy-counting", Box::new(LossyCounting::new(0.001))),
+        (
+            "kps-frequent",
+            Box::new(|| Box::new(KpsFrequent::with_capacity(1000))),
+        ),
+        (
+            "lossy-counting",
+            Box::new(|| Box::new(LossyCounting::new(0.001))),
+        ),
         (
             "sticky-sampling",
-            Box::new(StickySampling::new(0.01, 0.001, 0.1, 5)),
+            Box::new(|| Box::new(StickySampling::new(0.01, 0.001, 0.1, 5))),
         ),
+        ("count-min", {
+            let k = scale.k;
+            Box::new(move || Box::new(CountMinSketch::new(ROWS, BUCKETS, k, 6)))
+        }),
         (
-            "count-min",
-            Box::new(CountMinSketch::new(5, 1024, scale.k, 6)),
+            "space-saving",
+            Box::new(|| Box::new(SpaceSaving::new(1000))),
         ),
-        ("space-saving", Box::new(SpaceSaving::new(1000))),
-        (
-            "multihash-iceberg",
-            Box::new(MultiHashIceberg::new(
-                5,
-                1024,
-                (scale.n / 200) as u64,
-                1000,
-                7,
-            )),
-        ),
+        ("multihash-iceberg", {
+            let n = scale.n;
+            Box::new(move || {
+                Box::new(MultiHashIceberg::new(
+                    ROWS,
+                    BUCKETS,
+                    (n / 200) as u64,
+                    1000,
+                    7,
+                ))
+            })
+        }),
     ];
-    for (name, alg) in baselines {
-        let (upd, q) = run_summary(alg, &stream);
+    // `measure`'s state type here is the boxed trait object itself, so
+    // the query closure necessarily sees `&Box<dyn _>`.
+    #[allow(clippy::borrowed_box)]
+    fn query_boxed(alg: &Box<dyn StreamSummary>, p: ItemKey) -> u64 {
+        alg.estimate(p).unwrap_or(0)
+    }
+    for (name, factory) in baselines {
+        let (upd, q) = measure(
+            trials,
+            &stream,
+            &probes,
+            |st| {
+                let mut alg = factory();
+                alg.process_stream(st);
+                alg
+            },
+            Some(&query_boxed),
+        );
         push(name, upd, q);
     }
 
     out.tables.push(table);
     out
+}
+
+/// Renders the repo-root `BENCH_throughput.json` payload: schema header,
+/// workload description, git revision, and one [`ExperimentRecord`] JSON
+/// line per algorithm. Each record sits on its own line so
+/// [`parse_bench_json`] (and the CI regression gate built on it) can
+/// recover them without a full JSON parser.
+pub fn bench_json(out: &ExperimentOutput, scale: &Scale, git_rev: &str) -> String {
+    let rev: String = git_rev
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .collect();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bench-throughput-v1\",\n");
+    s.push_str(&format!("  \"git_rev\": \"{rev}\",\n"));
+    s.push_str(&format!(
+        "  \"workload\": {{\"distribution\": \"zipf\", \"z\": 1.0, \"n\": {}, \"m\": {}, \"trials\": {}}},\n",
+        scale.n,
+        scale.m,
+        scale.trials.max(1)
+    ));
+    s.push_str(&format!(
+        "  \"sketch\": {{\"rows\": {ROWS}, \"buckets\": {BUCKETS}}},\n"
+    ));
+    s.push_str("  \"records\": [\n");
+    let lines: Vec<String> = out
+        .records
+        .iter()
+        .filter(|r| r.experiment == "throughput")
+        .map(|r| format!("    {}", r.to_json_line()))
+        .collect();
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Recovers `algorithm → update Mops/s` from a [`bench_json`] payload.
+/// Lines that are not record objects are skipped, so the whole file can
+/// be fed in as-is.
+pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"experiment\"") {
+                return None;
+            }
+            ExperimentRecord::from_json_line(line).ok()
+        })
+        .filter_map(|r| {
+            let mops = r.metrics.get("update_mops").copied()?;
+            Some((r.algorithm, mops))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,7 +327,7 @@ mod tests {
     fn throughput_runs_and_reports_positive_rates() {
         let out = run(&Scale::small());
         assert_eq!(out.tables.len(), 1);
-        assert!(out.records.len() >= 11);
+        assert!(out.records.len() >= 12);
         for r in &out.records {
             assert!(
                 r.metrics["update_mops"] > 0.0,
@@ -172,5 +335,35 @@ mod tests {
                 r.algorithm
             );
         }
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_parser() {
+        let mut out = ExperimentOutput::default();
+        for (name, mops) in [("count-sketch", 31.5), ("space-saving", 12.0)] {
+            out.records.push(
+                ExperimentRecord::new("throughput", name)
+                    .param("n", 1000.0)
+                    .metric("update_mops", mops)
+                    .metric("query_mops", 2.0),
+            );
+        }
+        // Records from other experiments must not leak in.
+        out.records
+            .push(ExperimentRecord::new("table1", "count-sketch").metric("update_mops", 999.0));
+        let json = bench_json(&out, &Scale::small(), "abc123");
+        assert!(json.contains("\"schema\": \"bench-throughput-v1\""));
+        assert!(json.contains("\"git_rev\": \"abc123\""));
+        let parsed = parse_bench_json(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["count-sketch"], 31.5);
+        assert_eq!(parsed["space-saving"], 12.0);
+    }
+
+    #[test]
+    fn bench_json_sanitizes_git_rev() {
+        let out = ExperimentOutput::default();
+        let json = bench_json(&out, &Scale::small(), "abc\"123\n$(rm)");
+        assert!(json.contains("\"git_rev\": \"abc123rm\""));
     }
 }

@@ -136,6 +136,9 @@ impl SharedCountSketch {
             let row = row.lock().expect("row lock poisoned");
             s.counters_mut()[i * buckets..(i + 1) * buckets].copy_from_slice(&row);
         }
+        // Counters were filled behind the sketch's back: restore the
+        // headroom watermark so later batched updates stay overflow-safe.
+        s.refresh_mass_floor();
         s
     }
 }

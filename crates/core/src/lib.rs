@@ -55,6 +55,7 @@ pub mod distributed;
 pub mod error;
 pub mod hierarchical;
 pub mod iceberg;
+pub mod ingest;
 pub mod maxchange;
 pub mod median;
 pub mod params;

@@ -46,6 +46,19 @@ pub fn median(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
     scratch.clear();
     scratch.extend_from_slice(values);
     let n = scratch.len();
+    if n <= SMALL_SORT {
+        // The estimate hot path combines t ≈ 3–11 row values; a branchy
+        // insertion sort on a slice this short beats the general
+        // selection machinery and its recursion setup. Both middles come
+        // out sorted, so the result is identical to the select path.
+        insertion_sort(scratch);
+        let mid = n / 2;
+        return if n % 2 == 1 {
+            scratch[mid]
+        } else {
+            midpoint(scratch[mid - 1], scratch[mid])
+        };
+    }
     let mid = n / 2;
     let (_, &mut upper_mid, _) = scratch.select_nth_unstable(mid);
     if n % 2 == 1 {
@@ -55,6 +68,21 @@ pub fn median(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
         // <= upper_mid; the lower middle is the max of that prefix.
         let lower_mid = *scratch[..mid].iter().max().expect("n >= 2");
         midpoint(lower_mid, upper_mid)
+    }
+}
+
+/// Lengths up to this take the insertion-sort path in [`median`].
+const SMALL_SORT: usize = 16;
+
+fn insertion_sort(v: &mut [i64]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
     }
 }
 
@@ -124,6 +152,30 @@ mod tests {
     fn median_no_overflow_at_extremes() {
         assert_eq!(med(&[i64::MAX, i64::MAX]), i64::MAX);
         assert_eq!(med(&[i64::MIN, i64::MAX]), 0);
+    }
+
+    #[test]
+    fn small_and_select_paths_agree() {
+        // Lengths straddling the SMALL_SORT cutoff, against a full sort.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for n in 1..=2 * SMALL_SORT {
+            let v: Vec<i64> = (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (x >> 16) as i64 - (1 << 46)
+                })
+                .collect();
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            let want = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                midpoint(sorted[n / 2 - 1], sorted[n / 2])
+            };
+            assert_eq!(med(&v), want, "n = {n}");
+        }
     }
 
     #[test]

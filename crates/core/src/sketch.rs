@@ -101,20 +101,30 @@ impl DrawSignHasher for TabulationHash {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GenericCountSketch<H, S> {
-    rows: usize,
-    buckets: usize,
+    pub(crate) rows: usize,
+    pub(crate) buckets: usize,
     /// Row-major `rows × buckets` counters.
-    counters: Vec<i64>,
+    pub(crate) counters: Vec<i64>,
     /// One bit per counter, set when that counter has ever been clamped
     /// at `i64::MAX`/`i64::MIN` instead of silently wrapping. A saturated
     /// cell no longer tracks its true signed mass, so estimates that
     /// probe it are suspect — [`GenericCountSketch::estimate_checked`]
     /// excludes such rows and [`GenericCountSketch::health`] reports them.
-    saturated: Vec<u64>,
-    hashers: Vec<H>,
-    signs: Vec<S>,
-    seed: u64,
-    combiner: Combiner,
+    /// Maintained only with the `saturation-tracking` feature (default
+    /// on); without it the bitset stays all-zero and clamping is silent.
+    pub(crate) saturated: Vec<u64>,
+    pub(crate) hashers: Vec<H>,
+    pub(crate) signs: Vec<S>,
+    pub(crate) seed: u64,
+    pub(crate) combiner: Combiner,
+    /// Upper bound on `|counter|` over every cell: the saturating sum of
+    /// `|weight|` across all updates ever absorbed (refreshed to the
+    /// tight `max |counter|` after bulk counter writes). While
+    /// `abs_mass + n·|w| ≤ i64::MAX` a block of `n` weight-`w` updates
+    /// provably cannot overflow any cell, so ingestion may take the
+    /// branch-free pure-`i64` path and skip the per-cell `i128`
+    /// clamp-and-flag entirely — the two-tier overflow scheme.
+    pub(crate) abs_mass: u64,
 }
 
 /// Saturation report for a sketch: which fraction of the structure still
@@ -220,6 +230,7 @@ impl<H: DrawBucketHasher, S: DrawSignHasher> GenericCountSketch<H, S> {
             signs,
             seed,
             combiner: Combiner::default(),
+            abs_mass: 0,
         }
     }
 }
@@ -269,12 +280,37 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
     /// General turnstile update: adds `weight` occurrences (may be
     /// negative).
     ///
-    /// Counters never wrap: a cell that would overflow `i64` is clamped
-    /// at `i64::MAX`/`i64::MIN` and flagged, which [`Self::health`] and
-    /// [`Self::estimate_checked`] surface. The exact sum is carried in
-    /// `i128` so even `sign * i64::MIN` is handled correctly.
+    /// Counters never wrap. Two-tier overflow handling: while the
+    /// `abs_mass` watermark proves no cell can reach the `i64` limits the
+    /// additions run branch-free in pure `i64`; once headroom is exhausted
+    /// every update falls back to [`Self::update_exact`], whose `i128`
+    /// clamp-and-flag is surfaced by [`Self::health`] and
+    /// [`Self::estimate_checked`]. Both tiers produce bit-identical
+    /// counters — the fast tier is only taken when clamping cannot occur.
     #[inline]
     pub fn update(&mut self, key: ItemKey, weight: i64) {
+        match self.headroom_after(1, weight) {
+            Some(mass) => {
+                self.abs_mass = mass;
+                let k = key.raw();
+                for i in 0..self.rows {
+                    let bucket = self.hashers[i].bucket(k);
+                    let sign = self.signs[i].sign(k);
+                    self.counters[i * self.buckets + bucket] += sign * weight;
+                }
+            }
+            None => self.update_exact(key, weight),
+        }
+    }
+
+    /// The exact slow tier: carries every cell sum in `i128` so even
+    /// `sign · i64::MIN` is handled correctly, clamping and flagging any
+    /// cell that would overflow. Public so the microbenchmarks can
+    /// compare the tiers directly; [`Self::update`] dispatches here
+    /// automatically when headroom runs out.
+    #[inline]
+    pub fn update_exact(&mut self, key: ItemKey, weight: i64) {
+        self.abs_mass = self.abs_mass.saturating_add(weight.unsigned_abs());
         let k = key.raw();
         for i in 0..self.rows {
             let bucket = self.hashers[i].bucket(k);
@@ -285,18 +321,63 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         }
     }
 
+    /// The watermark after absorbing `items` updates of `weight` each, or
+    /// `None` if some cell could then exceed the `i64` range. Since
+    /// `|counter| ≤ abs_mass` holds for every cell, `Some` proves the
+    /// whole block is clamp-free.
+    #[inline]
+    pub(crate) fn headroom_after(&self, items: usize, weight: i64) -> Option<u64> {
+        let total = self.abs_mass as u128 + items as u128 * weight.unsigned_abs() as u128;
+        if total <= i64::MAX as u128 {
+            Some(total as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Restores the `abs_mass` invariant (`|counter| ≤ abs_mass` for all
+    /// cells) after counters were overwritten wholesale — snapshot
+    /// restore, concurrent snapshot assembly. The tight bound
+    /// `max |counter|` is the most headroom the invariant allows us to
+    /// reclaim without replaying the stream.
+    pub(crate) fn refresh_mass_floor(&mut self) {
+        self.abs_mass = self
+            .counters
+            .iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+    }
+
     /// Clamps an exact `i128` cell value into `i64`, flagging the cell as
-    /// saturated if clamping happened.
+    /// saturated if clamping happened (flag elided without the
+    /// `saturation-tracking` feature).
     #[inline]
     fn clamp_and_flag(&mut self, idx: usize, exact: i128) -> i64 {
         if exact > i128::from(i64::MAX) {
-            self.saturated[idx / 64] |= 1 << (idx % 64);
+            self.flag_saturated(idx);
             i64::MAX
         } else if exact < i128::from(i64::MIN) {
-            self.saturated[idx / 64] |= 1 << (idx % 64);
+            self.flag_saturated(idx);
             i64::MIN
         } else {
             exact as i64
+        }
+    }
+
+    /// Records that cell `idx` has been clamped. With the
+    /// `saturation-tracking` feature disabled this compiles to nothing:
+    /// the bitset stays all-zero, trading diagnosability for one fewer
+    /// random store on the (already slow) clamping tier.
+    #[inline]
+    fn flag_saturated(&mut self, idx: usize) {
+        #[cfg(feature = "saturation-tracking")]
+        {
+            self.saturated[idx / 64] |= 1 << (idx % 64);
+        }
+        #[cfg(not(feature = "saturation-tracking"))]
+        {
+            let _ = idx;
         }
     }
 
@@ -332,10 +413,12 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
     }
 
     /// Adds every occurrence of a stream, each with `weight`.
+    ///
+    /// Routed through the block-lane batch engine ([`crate::ingest`]);
+    /// the resulting counters and saturation flags are bit-identical to
+    /// calling [`Self::update`] per occurrence.
     pub fn absorb(&mut self, stream: &Stream, weight: i64) {
-        for key in stream.iter() {
-            self.update(key, weight);
-        }
+        self.update_batch_weighted(stream.as_slice(), weight);
     }
 
     /// Applies every signed update of a turnstile stream (the sketch is
@@ -451,6 +534,8 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
             *w |= o;
         }
+        // |c + d| ≤ |c| + |d| ≤ abs_mass + other.abs_mass cell-wise.
+        self.abs_mass = self.abs_mass.saturating_add(other.abs_mass);
         Ok(())
     }
 
@@ -466,6 +551,7 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
             *w |= o;
         }
+        self.abs_mass = self.abs_mass.saturating_add(other.abs_mass);
         Ok(())
     }
 
@@ -489,14 +575,18 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
         for (w, &o) in self.saturated.iter_mut().zip(&other.saturated) {
             *w |= o;
         }
+        // |c − d| ≤ |c| + |d|, same bound as merge.
+        self.abs_mass = self.abs_mass.saturating_add(other.abs_mass);
         Ok(())
     }
 
     /// Resets all counters to zero (hash functions are kept), including
-    /// saturation flags.
+    /// saturation flags. Headroom for the fast ingestion tier is fully
+    /// restored.
     pub fn clear(&mut self) {
         self.counters.fill(0);
         self.saturated.fill(0);
+        self.abs_mass = 0;
     }
 
     /// Raw counter array (row-major), for tests and diagnostics.
@@ -800,6 +890,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn update_saturates_instead_of_wrapping() {
         let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
         s.update(ItemKey(1), i64::MAX);
@@ -816,6 +907,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn negative_saturation_clamps_at_min() {
         let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
         s.update(ItemKey(1), i64::MIN);
@@ -828,6 +920,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn strict_merge_refuses_overflow_and_leaves_self_untouched() {
         let params = SketchParams::new(1, 1);
         let mut a = CountSketch::new(params, 0);
@@ -858,6 +951,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn estimate_checked_excludes_saturated_rows() {
         // Row 0 of a 3-row sketch saturates; the checked estimate should
         // report 2 clean rows and still produce a sane value.
@@ -882,6 +976,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn clear_resets_saturation() {
         let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
         s.update(ItemKey(1), i64::MAX);

@@ -253,6 +253,9 @@ where
     for w in sketch.saturated_words_mut() {
         *w = r.u64()?;
     }
+    // The counters were filled wholesale: re-establish the headroom
+    // watermark the batched ingestion fast path relies on.
+    sketch.refresh_mass_floor();
     Ok(sketch)
 }
 
@@ -388,6 +391,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "saturation-tracking")]
     fn saturation_flags_survive_the_roundtrip() {
         let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
         s.update(ItemKey(1), i64::MAX);

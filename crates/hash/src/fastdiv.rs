@@ -1,0 +1,191 @@
+//! Exact division and modulo by a runtime-invariant divisor.
+//!
+//! The sketch hot loop reduces every bucket-hash value modulo `b`. The
+//! divisor is fixed for the lifetime of the hash function, yet a plain
+//! `%` compiles to a hardware divide (~20–40 cycles, unpipelined) because
+//! the compiler cannot strength-reduce a divisor it only learns at
+//! runtime. This module precomputes the Granlund–Montgomery reciprocal
+//! once per function and turns every later reduction into three 64-bit
+//! multiplies — exact for **all** 64-bit numerators, not an approximation.
+//!
+//! With `M = ⌊2^128 / d⌋ + 1` (the `+1` makes the truncation round the
+//! right way), Granlund & Montgomery ("Division by invariant integers
+//! using multiplication", PLDI '94, Thm 4.2) give
+//! `⌊n·M / 2^128⌋ = ⌊n / d⌋` for every `n < 2^64` whenever
+//! `M·d − 2^128 ≤ 2^64`, which holds here because `M·d − 2^128 < d`.
+//! The 128×128→high-64 product only needs two 64×64→128 multiplies since
+//! `n` fits in one limb.
+
+/// A divisor with its precomputed 128-bit reciprocal.
+///
+/// `rem`/`div` are exact drop-in replacements for `n % d` / `n / d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDivisor {
+    d: u64,
+    /// High and low limbs of `⌊2^128 / d⌋ + 1` (zero for powers of two,
+    /// which take the mask/shift path instead).
+    m_hi: u64,
+    m_lo: u64,
+    /// `d - 1` when `d` is a power of two (`rem` is then a single AND —
+    /// the sketch's default bucket counts are powers of two, and a mask
+    /// beats even the reciprocal's two multiplies), else `u64::MAX` as
+    /// the "not a power of two" sentinel (no valid pow2 mask has all 64
+    /// bits set).
+    pow2_mask: u64,
+    /// `log2(d)` when `d` is a power of two, else 0 (unused).
+    pow2_shift: u32,
+}
+
+impl FastDivisor {
+    /// Precomputes the reciprocal of `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub const fn new(d: u64) -> Self {
+        assert!(d != 0, "division by zero");
+        if d.is_power_of_two() {
+            return Self {
+                d,
+                m_hi: 0,
+                m_lo: 0,
+                pow2_mask: d - 1,
+                pow2_shift: d.trailing_zeros(),
+            };
+        }
+        // ⌊(2^128 − 1) / d⌋ equals ⌊2^128 / d⌋ when d does not divide
+        // 2^128 (guaranteed here: powers of two were peeled off above);
+        // the +1 lands on the Granlund–Montgomery magic number.
+        let m = (u128::MAX / d as u128) + 1;
+        Self {
+            d,
+            m_hi: (m >> 64) as u64,
+            m_lo: m as u64,
+            pow2_mask: u64::MAX,
+            pow2_shift: 0,
+        }
+    }
+
+    /// The divisor this reciprocal was built for.
+    #[inline]
+    pub const fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// `n / d`, exactly.
+    #[inline]
+    pub const fn div(&self, n: u64) -> u64 {
+        if self.pow2_mask != u64::MAX {
+            return n >> self.pow2_shift;
+        }
+        // q = ⌊n·M / 2^128⌋ with M = m_hi·2^64 + m_lo. Writing
+        // n·m_lo = t·2^64 + u (u < 2^64): n·M = (n·m_hi + t)·2^64 + u,
+        // so the floor at 2^128 is ⌊(n·m_hi + t) / 2^64⌋ — u never
+        // reaches the kept bits.
+        let t = (n as u128 * self.m_lo as u128) >> 64;
+        ((n as u128 * self.m_hi as u128 + t) >> 64) as u64
+    }
+
+    /// `n % d`, exactly.
+    #[inline]
+    pub const fn rem(&self, n: u64) -> u64 {
+        if self.pow2_mask != u64::MAX {
+            return n & self.pow2_mask;
+        }
+        n - self.div(n).wrapping_mul(self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::SeedSequence;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_divisors_exhaustive_prefix() {
+        for d in 1u64..=64 {
+            let f = FastDivisor::new(d);
+            assert_eq!(f.divisor(), d);
+            for n in 0u64..4096 {
+                assert_eq!(f.div(n), n / d, "div {n}/{d}");
+                assert_eq!(f.rem(n), n % d, "rem {n}%{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_numerators() {
+        for d in [
+            1u64,
+            2,
+            3,
+            7,
+            1024,
+            1 << 32,
+            (1 << 32) - 1,
+            crate::prime::P,
+            crate::prime::P - 1,
+            u64::MAX,
+        ] {
+            let f = FastDivisor::new(d);
+            for n in [
+                0u64,
+                1,
+                d.wrapping_sub(1),
+                d,
+                d.wrapping_add(1),
+                u64::MAX - 1,
+                u64::MAX,
+                crate::prime::P,
+            ] {
+                assert_eq!(f.div(n), n / d, "div {n}/{d}");
+                assert_eq!(f.rem(n), n % d, "rem {n}%{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn powers_of_two_divisors() {
+        for s in 0..64 {
+            let d = 1u64 << s;
+            let f = FastDivisor::new(d);
+            for n in [0u64, 1, d - 1, d, d + 1, u64::MAX] {
+                assert_eq!(f.rem(n), n % d, "rem {n} % 2^{s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_rejected() {
+        FastDivisor::new(0);
+    }
+
+    #[test]
+    fn random_pairs_match_hardware_division() {
+        // 64-bit randoms from the deterministic seed stream; denser than
+        // proptest's case budget.
+        let mut s = SeedSequence::new(0xFA57);
+        for _ in 0..200_000 {
+            let n = s.next_seed();
+            let d = s.next_seed().max(1);
+            let f = FastDivisor::new(d);
+            assert_eq!(f.div(n), n / d, "div {n}/{d}");
+            assert_eq!(f.rem(n), n % d, "rem {n}%{d}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_hardware(n: u64, d in 1u64..u64::MAX) {
+            let f = FastDivisor::new(d);
+            prop_assert_eq!(f.div(n), n / d);
+            prop_assert_eq!(f.rem(n), n % d);
+        }
+
+        #[test]
+        fn prop_rem_below_divisor(n: u64, d in 1u64..u64::MAX) {
+            prop_assert!(FastDivisor::new(d).rem(n) < d);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod crc32;
+pub mod fastdiv;
 pub mod independence;
 pub mod kwise;
 pub mod mix;
@@ -47,6 +48,7 @@ pub mod tabulation;
 pub mod traits;
 
 pub use crc32::{crc32, Crc32};
+pub use fastdiv::FastDivisor;
 pub use kwise::PolynomialHash;
 pub use mix::ItemKey;
 pub use multiply_shift::MultiplyShift;

@@ -6,16 +6,23 @@
 //! distortion (negligible here: `r ≤ 2^32`, `p = 2^61 - 1`). This is the
 //! textbook construction the paper's `h_i` functions assume.
 
+use crate::fastdiv::FastDivisor;
 use crate::prime;
 use crate::seed::SeedSequence;
 use crate::traits::BucketHasher;
 
 /// A single function drawn from the pairwise-independent family.
+///
+/// The range reduction uses a precomputed exact reciprocal
+/// ([`FastDivisor`]) instead of a hardware divide: the divisor is fixed
+/// at draw time, and an unpipelined `div` per row per update would
+/// dominate the sketch's ingestion cost. The mapping is bit-identical to
+/// `field_eval(key) % range`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairwiseHash {
     a: u64,
     b: u64,
-    range: u64,
+    range: FastDivisor,
 }
 
 impl PairwiseHash {
@@ -30,7 +37,7 @@ impl PairwiseHash {
         Self {
             a: seeds.next_nonzero_below(prime::P),
             b: seeds.next_below(prime::P),
-            range,
+            range: FastDivisor::new(range),
         }
     }
 
@@ -43,7 +50,7 @@ impl PairwiseHash {
         Self {
             a,
             b: prime::fold(b),
-            range: range as u64,
+            range: FastDivisor::new(range as u64),
         }
     }
 
@@ -58,11 +65,21 @@ impl PairwiseHash {
 impl BucketHasher for PairwiseHash {
     #[inline]
     fn bucket(&self, key: u64) -> usize {
-        (self.field_eval(key) % self.range) as usize
+        self.range.rem(self.field_eval(key)) as usize
+    }
+
+    #[inline]
+    fn bucket_block(&self, keys: &[u64], out: &mut [usize]) {
+        // One loop of independent multiply chains: with the divide gone
+        // the evaluations have no loop-carried dependency and pipeline
+        // across keys.
+        for (o, &k) in out[..keys.len()].iter_mut().zip(keys) {
+            *o = self.range.rem(self.field_eval(k)) as usize;
+        }
     }
 
     fn num_buckets(&self) -> usize {
-        self.range as usize
+        self.range.divisor() as usize
     }
 
     fn space_bytes(&self) -> usize {
@@ -157,11 +174,29 @@ mod tests {
         );
     }
 
+    #[test]
+    fn bucket_block_matches_scalar() {
+        let h = PairwiseHash::draw(&mut SeedSequence::new(11), 1000);
+        let keys: Vec<u64> = (0..257u64).map(|k| k.wrapping_mul(0x9E37_79B9)).collect();
+        let mut out = vec![0usize; keys.len()];
+        h.bucket_block(&keys, &mut out);
+        for (j, &k) in keys.iter().enumerate() {
+            assert_eq!(out[j], h.bucket(k));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_bucket_in_range(seed: u64, key: u64, range in 1usize..100_000) {
             let h = PairwiseHash::draw(&mut SeedSequence::new(seed), range);
             prop_assert!(h.bucket(key) < range);
+        }
+
+        #[test]
+        fn prop_bucket_is_field_eval_mod_range(seed: u64, key: u64, range in 1usize..1_000_000) {
+            // The reciprocal reduction must be bit-identical to `%`.
+            let h = PairwiseHash::draw(&mut SeedSequence::new(seed), range);
+            prop_assert_eq!(h.bucket(key), (h.field_eval(key) % range as u64) as usize);
         }
 
         #[test]

@@ -24,11 +24,14 @@ pub const P: u64 = (1u64 << 61) - 1;
 #[inline]
 pub fn fold(x: u64) -> u64 {
     let r = (x >> 61) + (x & P);
-    if r >= P {
-        r - P
-    } else {
-        r
-    }
+    // r ≤ P + 7 < 2P, so one conditional subtraction canonicalizes.
+    // `min` with the wrapped difference instead of `if r >= P { r - P }`:
+    // when r < P the subtraction wraps above 2^63 and loses, when r ≥ P
+    // it wins — same value, but the compiler lowers the `umin` to a
+    // conditional move. Whether the subtraction fires is data-dependent
+    // (~uniform over the field), and a 50%-taken branch in the sketch's
+    // per-update hash chain costs far more in mispredictions.
+    r.min(r.wrapping_sub(P))
 }
 
 /// Adds two field elements (inputs must be `< P`).
@@ -36,11 +39,8 @@ pub fn fold(x: u64) -> u64 {
 pub fn add(a: u64, b: u64) -> u64 {
     debug_assert!(a < P && b < P);
     let s = a + b; // < 2^62, no overflow
-    if s >= P {
-        s - P
-    } else {
-        s
-    }
+                   // Branch-free conditional subtraction; see `fold`.
+    s.min(s.wrapping_sub(P))
 }
 
 /// Multiplies two field elements (inputs must be `< P`).
