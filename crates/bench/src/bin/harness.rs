@@ -16,16 +16,18 @@
 //!   list-size         §4.1's candidate-list-size formula vs measured minimum
 //!   hierarchical      1-pass hierarchical max-change vs the 2-pass §4.2 algorithm
 //!   throughput        update/query throughput of every algorithm
+//!   parallel          multi-core ingestion scaling sweep (pool/atomic/striped)
 //!   report            re-render stored --records JSONL as tables
 //!   check-throughput  compare a BENCH_throughput.json against a baseline
+//!   check-parallel    gate a BENCH_parallel.json: regression + 4-thread speedup
 //!   all               every experiment above
 //! ```
 //!
 //! `--small` runs the reduced test-scale workload (seconds instead of
 //! minutes). `--records <path>` appends JSON-line records for each data
-//! point. The throughput experiment additionally writes a
-//! machine-readable `BENCH_throughput.json` (default: current directory;
-//! override with `--bench-json <path>`).
+//! point. The throughput and parallel experiments additionally write a
+//! machine-readable `BENCH_throughput.json` / `BENCH_parallel.json`
+//! (default: current directory; override with `--bench-json <path>`).
 //!
 //! `check-throughput` is the CI regression gate:
 //!
@@ -36,18 +38,34 @@
 //! ```
 //!
 //! exits non-zero if the algorithm's update throughput in `--current`
-//! falls more than `tolerance` below the baseline.
+//! falls more than `tolerance` below the baseline, or if `--current` was
+//! benchmarked at a different git revision than the checkout (stale
+//! numbers must never pass a gate — regenerate them at HEAD).
+//!
+//! `check-parallel` gates the scaling sweep the same way:
+//!
+//! ```text
+//! harness check-parallel [--baseline ci/parallel_baseline.json]
+//!                        [--current BENCH_parallel.json]
+//!                        [--tolerance 0.5] [--min-speedup 1.7]
+//! ```
+//!
+//! fails on a stale git revision, on a 1-thread pool regression beyond
+//! `--tolerance`, and — only when the benchmarked host had ≥ 4 cores —
+//! on a pool 4-thread/1-thread speedup below `--min-speedup`. On smaller
+//! hosts the speedup gate prints a loud warning instead of arming, since
+//! parallel speedup on a 1-core box is noise.
 
 use cs_bench::experiments::{
-    ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, payload,
-    table1, throughput, ExperimentOutput,
+    ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, parallel,
+    payload, table1, throughput, ExperimentOutput,
 };
 use cs_bench::Scale;
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|report|check-throughput|all> [--small] [--records <path>] [--bench-json <path>]"
+        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|parallel|report|check-throughput|check-parallel|all> [--small] [--records <path>] [--bench-json <path>]"
     );
     std::process::exit(2);
 }
@@ -65,9 +83,44 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Reads a file or exits loudly.
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Fails loudly when `path`'s recorded `git_rev` differs from the
+/// checkout's HEAD: a gate that passes on stale numbers is worse than no
+/// gate, because it certifies a revision nobody benchmarked. Outside a
+/// checkout (rev `unknown`) the check degrades to a warning.
+fn assert_fresh_rev(path: &str, text: &str) {
+    let head = git_rev();
+    if head == "unknown" {
+        eprintln!("warning: not in a git checkout; cannot verify {path} is fresh");
+        return;
+    }
+    match throughput::parse_git_rev(text) {
+        Some(rev) if rev == head => {}
+        Some(rev) => {
+            eprintln!(
+                "FAIL: {path} was benchmarked at git rev {rev} but HEAD is {head}; \
+                 stale numbers cannot pass a gate — regenerate the file at HEAD"
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("FAIL: {path} has no git_rev header; regenerate it with the harness");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `check-throughput`: compares the `count-sketch` (or `--algorithm`)
 /// update rate in `--current` against `--baseline`, failing the process
-/// if it regressed by more than `--tolerance` (fraction, default 0.2).
+/// if it regressed by more than `--tolerance` (fraction, default 0.2) or
+/// if `--current` is stale with respect to HEAD.
 fn check_throughput(args: &[String]) -> ! {
     let get = |flag: &str| {
         args.iter()
@@ -81,14 +134,10 @@ fn check_throughput(args: &[String]) -> ! {
     let tolerance: f64 = get("--tolerance")
         .map(|s| s.parse().expect("--tolerance must be a number"))
         .unwrap_or(0.2);
-    let read = |path: &str| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        })
-    };
-    let baseline = throughput::parse_bench_json(&read(&baseline_path));
-    let current = throughput::parse_bench_json(&read(&current_path));
+    let current_text = read_or_die(&current_path);
+    assert_fresh_rev(&current_path, &current_text);
+    let baseline = throughput::parse_bench_json(&read_or_die(&baseline_path));
+    let current = throughput::parse_bench_json(&current_text);
     let pick = |map: &std::collections::BTreeMap<String, f64>, path: &str| {
         *map.get(&algorithm).unwrap_or_else(|| {
             eprintln!("no '{algorithm}' record in {path}");
@@ -114,6 +163,80 @@ fn check_throughput(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `check-parallel`: the scaling-sweep gate. Three checks, in order:
+/// `--current` must have been benchmarked at HEAD; the 1-thread pool
+/// rate must be within `--tolerance` of the baseline (the pool's serial
+/// overhead must not creep); and on hosts with ≥ 4 cores the pool's
+/// 4-thread/1-thread speedup must reach `--min-speedup`. The speedup
+/// gate deliberately compares the pool against *itself* at 1 thread —
+/// comparing against plain sequential would conflate channel overhead
+/// (gated separately via the baseline) with scaling.
+fn check_parallel(args: &[String]) -> ! {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = get("--baseline").unwrap_or_else(|| "ci/parallel_baseline.json".into());
+    let current_path = get("--current").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let tolerance: f64 = get("--tolerance")
+        .map(|s| s.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.5);
+    let min_speedup: f64 = get("--min-speedup")
+        .map(|s| s.parse().expect("--min-speedup must be a number"))
+        .unwrap_or(1.7);
+    let current_text = read_or_die(&current_path);
+    assert_fresh_rev(&current_path, &current_text);
+    let baseline = parallel::parse_bench_json(&read_or_die(&baseline_path));
+    let current = parallel::parse_bench_json(&current_text);
+    let pick = |map: &std::collections::BTreeMap<String, f64>, key: &str, path: &str| {
+        *map.get(key).unwrap_or_else(|| {
+            eprintln!("no '{key}' record in {path}");
+            std::process::exit(1);
+        })
+    };
+    let base1 = pick(&baseline, "pool@1", &baseline_path);
+    let cur1 = pick(&current, "pool@1", &current_path);
+    let floor = base1 * (1.0 - tolerance);
+    if cur1 < floor {
+        eprintln!(
+            "FAIL: pool 1-thread ingest {cur1:.1} Mops/s is below {floor:.1} Mops/s \
+             ({:.0}% tolerance on baseline {base1:.1})",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: pool 1-thread ingest {cur1:.1} Mops/s >= {floor:.1} Mops/s \
+         ({:.0}% tolerance on baseline {base1:.1})",
+        tolerance * 100.0
+    );
+    let cores = parallel::parse_host_cores(&current_text).unwrap_or(1);
+    if cores >= 4 {
+        let cur4 = pick(&current, "pool@4", &current_path);
+        let speedup = cur4 / cur1;
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: pool 4-thread speedup {speedup:.2}x ({cur4:.1} / {cur1:.1} Mops/s) \
+                 is below the required {min_speedup:.2}x on a {cores}-core host"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "ok: pool 4-thread speedup {speedup:.2}x ({cur4:.1} / {cur1:.1} Mops/s) \
+             >= {min_speedup:.2}x on a {cores}-core host"
+        );
+    } else {
+        eprintln!(
+            "WARNING: {current_path} was benchmarked on a {cores}-core host; the \
+             {min_speedup:.2}x 4-thread speedup gate is NOT armed (needs >= 4 cores) — \
+             parallel speedup measured on an oversubscribed box is noise, not signal"
+        );
+    }
+    std::process::exit(0);
+}
+
 fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
     match name {
         "table1" => Some(table1::run(scale, &table1::DEFAULT_ZS)),
@@ -136,12 +259,14 @@ fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
         "list-size" => Some(list_size::run(scale, &[0.6, 0.8, 1.0, 1.25, 1.5], 0.5)),
         "hierarchical" => Some(hierarchical::run(scale, &[256, 1024, 4096])),
         "throughput" => Some(throughput::run(scale)),
+        "parallel" => Some(parallel::run(scale)),
         _ => None,
     }
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "throughput",
+    "parallel",
     "hierarchical",
     "list-size",
     "table1",
@@ -163,6 +288,9 @@ fn main() {
     let experiment = args[0].as_str();
     if experiment == "check-throughput" {
         check_throughput(&args[1..]);
+    }
+    if experiment == "check-parallel" {
+        check_parallel(&args[1..]);
     }
     // `harness report --records <path>` re-renders stored records
     // without running anything.
@@ -220,14 +348,24 @@ fn main() {
                 writeln!(f, "{}", r.to_json_line()).expect("write records");
             }
         }
-        if name == "throughput" {
+        let bench_json_payload = match name {
+            "throughput" => Some((
+                "BENCH_throughput.json",
+                throughput::bench_json(&out, &scale, &git_rev()),
+            )),
+            "parallel" => Some((
+                "BENCH_parallel.json",
+                parallel::bench_json(&out, &scale, &git_rev(), parallel::host_cores()),
+            )),
+            _ => None,
+        };
+        if let Some((default_path, json)) = bench_json_payload {
             let path = args
                 .iter()
                 .position(|a| a == "--bench-json")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_throughput.json".into());
-            let json = throughput::bench_json(&out, &scale, &git_rev());
+                .unwrap_or_else(|| default_path.into());
             std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("[harness] wrote {path}");
         }

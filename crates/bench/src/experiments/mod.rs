@@ -8,6 +8,7 @@ pub mod error_curves;
 pub mod hierarchical;
 pub mod list_size;
 pub mod maxchange;
+pub mod parallel;
 pub mod payload;
 pub mod table1;
 pub mod throughput;

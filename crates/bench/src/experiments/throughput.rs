@@ -319,6 +319,17 @@ pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
         .collect()
 }
 
+/// Recovers the `git_rev` header field from a [`bench_json`]-shaped
+/// payload (this experiment's and the parallel sweep's files share the
+/// header layout). `None` when absent or empty.
+pub fn parse_git_rev(text: &str) -> Option<String> {
+    text.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix("\"git_rev\":")?;
+        let rev = rest.trim().trim_end_matches(',').trim_matches('"').to_string();
+        (!rev.is_empty()).then_some(rev)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +376,14 @@ mod tests {
         let out = ExperimentOutput::default();
         let json = bench_json(&out, &Scale::small(), "abc\"123\n$(rm)");
         assert!(json.contains("\"git_rev\": \"abc123rm\""));
+    }
+
+    #[test]
+    fn git_rev_parses_from_header() {
+        let out = ExperimentOutput::default();
+        let json = bench_json(&out, &Scale::small(), "d06ae93");
+        assert_eq!(parse_git_rev(&json).as_deref(), Some("d06ae93"));
+        assert_eq!(parse_git_rev("{}"), None);
+        assert_eq!(parse_git_rev("{\n  \"git_rev\": \"\",\n}"), None);
     }
 }

@@ -211,10 +211,11 @@ where
         self.policy
     }
 
-    /// Reassembles a processor from persisted state — used by the
-    /// snapshot codec. The scratch buffers are transient and rebuilt
-    /// empty.
-    pub(crate) fn from_parts(
+    /// Reassembles a processor from its parts — used by the snapshot
+    /// codec and by callers that rebuild a processor around an
+    /// already-merged sketch (e.g. the parallel pipeline's resumable CLI
+    /// path). The scratch buffers are transient and rebuilt empty.
+    pub fn from_parts(
         sketch: GenericCountSketch<H, S>,
         tracker: TopKTracker,
         policy: HeapPolicy,
@@ -225,6 +226,13 @@ where
             policy,
             scratch: EstimateScratch::new(),
         }
+    }
+
+    /// Decomposes the processor into sketch, tracker and policy — the
+    /// parallel APPROXTOP merge re-bases each worker's candidates
+    /// against the merged sketch, so it needs the parts, not the whole.
+    pub fn into_parts(self) -> (GenericCountSketch<H, S>, TopKTracker, HeapPolicy) {
+        (self.sketch, self.tracker, self.policy)
     }
 }
 

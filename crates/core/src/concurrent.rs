@@ -1,16 +1,21 @@
-//! Parallel sketching via additivity.
+//! Parallel sketching via additivity (legacy entry points).
 //!
 //! §3.2's observation that sketches with shared hash functions can be
 //! added is not just the basis of the max-change algorithm — it is a
 //! parallelization strategy: partition the stream, sketch each partition
-//! independently with the *same seed*, and merge. The result is
-//! bit-identical to sketching the whole stream sequentially (addition of
-//! counters commutes), which [`sketch_stream_parallel`]'s tests verify.
+//! independently with the *same seed*, and merge. The long-lived
+//! pipeline lives in [`crate::parallel`]; this module keeps the original
+//! one-shot entry point [`sketch_stream_parallel`] (now routed through
+//! the worker pool) and the mutex-striped [`SharedCountSketch`].
 //!
-//! [`SharedCountSketch`] additionally offers a lock-based concurrent
-//! handle for pipelines where partitioning is awkward (items arrive on
-//! many threads): per-row striped mutexes, writers lock one stripe per
-//! row update.
+//! [`SharedCountSketch`] is a lock-based concurrent handle for pipelines
+//! where partitioning is awkward (items arrive on many threads):
+//! per-row striped mutexes, writers lock one stripe per row update. For
+//! the hot path prefer [`crate::parallel::AtomicCountSketch`], which
+//! replaces the `t` lock acquisitions per update with relaxed atomic
+//! adds; the striped type is kept as the contended-baseline for the
+//! scaling benchmarks and for callers that want strictly bounded memory
+//! (no overflow side sketch).
 
 use crate::params::SketchParams;
 use crate::sketch::CountSketch;
@@ -18,11 +23,12 @@ use cs_hash::ItemKey;
 use cs_stream::Stream;
 use std::sync::{Arc, Mutex};
 
-/// Sketches a stream by fanning chunks out to `threads` scoped worker
-/// threads, then merging the per-thread sketches.
+/// Sketches a stream in parallel on `threads` workers and merges the
+/// per-worker sketches (delegates to [`crate::parallel::SketchPool`]).
 ///
 /// Deterministic: the result equals the sequential sketch of the same
-/// stream with the same `(params, seed)`.
+/// stream with the same `(params, seed)` — see the determinism contract
+/// in [`crate::parallel`] for the saturating-stream fine print.
 pub fn sketch_stream_parallel(
     stream: &Stream,
     params: SketchParams,
@@ -30,36 +36,12 @@ pub fn sketch_stream_parallel(
     threads: usize,
 ) -> CountSketch {
     assert!(threads >= 1, "need at least one thread");
-    if threads == 1 || stream.len() < 2 * threads {
+    if threads == 1 {
         let mut s = CountSketch::new(params, seed);
         s.absorb(stream, 1);
         return s;
     }
-    let chunks = stream.chunks(threads);
-    let mut partials: Vec<CountSketch> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut local = CountSketch::new(params, seed);
-                    local.absorb(chunk, 1);
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
-    let mut merged = partials.pop().expect("at least one chunk");
-    for p in &partials {
-        merged
-            .merge(p)
-            .expect("same params and seed are compatible");
-    }
-    merged
+    crate::parallel::sketch_stream_pooled(stream, params, seed, threads)
 }
 
 /// A thread-safe Count-Sketch behind striped locks.
@@ -67,8 +49,8 @@ pub fn sketch_stream_parallel(
 /// Each row is guarded by its own mutex, so concurrent updates contend
 /// only when they touch the same row — and every update touches every
 /// row, so this is effectively a pipeline of `t` short critical sections.
-/// For bulk throughput prefer [`sketch_stream_parallel`]; this type is for
-/// long-lived shared handles.
+/// For bulk throughput prefer [`sketch_stream_parallel`]; for shared
+/// handles on the hot path prefer [`crate::parallel::AtomicCountSketch`].
 #[derive(Debug, Clone)]
 pub struct SharedCountSketch {
     inner: Arc<SharedInner>,
@@ -79,7 +61,43 @@ struct SharedInner {
     /// The hash functions live in a read-only template sketch; row
     /// counters are split out under per-row locks.
     template: CountSketch,
-    rows: Vec<Mutex<Vec<i64>>>,
+    rows: Vec<Mutex<SharedRow>>,
+}
+
+/// One row's counters plus its local saturation-flag words. The flags
+/// live *inside* the row lock (not in a shared global bitset) because
+/// bitset words straddle row boundaries whenever `buckets % 64 != 0` —
+/// two rows writing one shared word would race. [`SharedCountSketch::snapshot`]
+/// translates the row-local bits into the plain sketch's global bitset.
+#[derive(Debug)]
+struct SharedRow {
+    counters: Vec<i64>,
+    saturated: Vec<u64>,
+}
+
+impl SharedRow {
+    fn new(buckets: usize) -> Self {
+        Self {
+            counters: vec![0i64; buckets],
+            saturated: vec![0u64; buckets.div_ceil(64)],
+        }
+    }
+
+    /// Applies a signed update to one bucket with the same exact-`i128`
+    /// clamp-and-flag semantics as the scalar slow tier
+    /// ([`CountSketch::update_exact`]).
+    fn apply(&mut self, bucket: usize, sign: i64, weight: i64) {
+        let sum = i128::from(self.counters[bucket]) + i128::from(sign) * i128::from(weight);
+        self.counters[bucket] = if sum > i128::from(i64::MAX) {
+            self.saturated[bucket / 64] |= 1 << (bucket % 64);
+            i64::MAX
+        } else if sum < i128::from(i64::MIN) {
+            self.saturated[bucket / 64] |= 1 << (bucket % 64);
+            i64::MIN
+        } else {
+            sum as i64
+        };
+    }
 }
 
 impl SharedCountSketch {
@@ -87,7 +105,7 @@ impl SharedCountSketch {
     pub fn new(params: SketchParams, seed: u64) -> Self {
         let template = CountSketch::new(params, seed);
         let rows = (0..params.rows)
-            .map(|_| Mutex::new(vec![0i64; template.buckets()]))
+            .map(|_| Mutex::new(SharedRow::new(template.buckets())))
             .collect();
         Self {
             inner: Arc::new(SharedInner { template, rows }),
@@ -100,18 +118,18 @@ impl SharedCountSketch {
     }
 
     /// Turnstile update (thread-safe).
+    ///
+    /// Cell sums are carried in `i128` and clamped at the `i64` limits
+    /// with the clamp **recorded** in a per-row flag bitset — a clamped
+    /// shared sketch therefore reports its degradation through
+    /// [`CountSketch::health`] after [`Self::snapshot`], exactly like
+    /// the scalar two-tier path.
     pub fn update(&self, key: ItemKey, weight: i64) {
-        // Reuse the template's hashers by probing a throwaway single-add
-        // sketch would be wasteful; instead expose bucket/sign through a
-        // scratch estimate: we re-derive the per-row cells via the
-        // template's public row probe on a zero sketch. To keep this hot
-        // path allocation-free we inline the loop over rows using the
-        // template's hashers through `row_cells`.
+        // The template's hashers are probed through `row_cells`, keeping
+        // this hot path allocation-free.
         for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
             let mut row = self.inner.rows[i].lock().expect("row lock poisoned");
-            // Saturating like the plain sketch's update: a shared counter
-            // must clamp, not wrap, at the i64 limits.
-            row[bucket] = row[bucket].saturating_add(sign.saturating_mul(weight));
+            row.apply(bucket, sign, weight);
         }
     }
 
@@ -122,19 +140,28 @@ impl SharedCountSketch {
         let mut rows_est = Vec::with_capacity(self.inner.rows.len());
         for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
             let row = self.inner.rows[i].lock().expect("row lock poisoned");
-            rows_est.push(sign * row[bucket]);
+            rows_est.push(sign.saturating_mul(row.counters[bucket]));
         }
         let mut scratch = Vec::with_capacity(rows_est.len());
         crate::median::median(&rows_est, &mut scratch)
     }
 
-    /// Freezes into a plain sketch (snapshot of all counters).
+    /// Freezes into a plain sketch: counters, saturation flags (when the
+    /// `saturation-tracking` feature is on, matching the scalar sketch's
+    /// semantics), and a restored mass-floor watermark.
     pub fn snapshot(&self) -> CountSketch {
         let mut s = self.inner.template.clone();
         let buckets = s.buckets();
         for (i, row) in self.inner.rows.iter().enumerate() {
             let row = row.lock().expect("row lock poisoned");
-            s.counters_mut()[i * buckets..(i + 1) * buckets].copy_from_slice(&row);
+            s.counters_mut()[i * buckets..(i + 1) * buckets].copy_from_slice(&row.counters);
+            #[cfg(feature = "saturation-tracking")]
+            for bucket in 0..buckets {
+                if row.saturated[bucket / 64] >> (bucket % 64) & 1 == 1 {
+                    let idx = i * buckets + bucket;
+                    s.saturated_words_mut()[idx / 64] |= 1 << (idx % 64);
+                }
+            }
         }
         // Counters were filled behind the sketch's back: restore the
         // headroom watermark so later batched updates stay overflow-safe.
@@ -210,6 +237,55 @@ mod tests {
         let mut plain = CountSketch::new(params, 11);
         plain.absorb(&stream, 1);
         assert_eq!(shared.snapshot().counters(), plain.counters());
+    }
+
+    #[test]
+    #[cfg(feature = "saturation-tracking")]
+    fn shared_sketch_clamp_is_recorded_in_health() {
+        // Regression: the striped sketch used to clamp silently, so a
+        // saturated shared sketch reported healthy after snapshot().
+        let params = SketchParams::new(3, 32);
+        let shared = SharedCountSketch::new(params, 1);
+        let key = ItemKey(77);
+        shared.update(key, i64::MAX);
+        shared.update(key, i64::MAX);
+        let snap = shared.snapshot();
+        assert!(
+            snap.health().saturated_cells > 0,
+            "clamped shared sketch must not report healthy"
+        );
+        // And the cell states match the scalar sequence exactly.
+        let mut plain = CountSketch::new(params, 1);
+        plain.update(key, i64::MAX);
+        plain.update(key, i64::MAX);
+        assert_eq!(snap.counters(), plain.counters());
+        for row in 0..snap.rows() {
+            for bucket in 0..snap.buckets() {
+                assert_eq!(
+                    snap.is_cell_saturated(row, bucket),
+                    plain.is_cell_saturated(row, bucket),
+                    "flag diverges at ({row}, {bucket})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_sketch_extreme_weights_do_not_wrap() {
+        // weight = i64::MIN used to go through sign.saturating_mul and
+        // lose a unit of mass; the i128 path is exact until it clamps.
+        let params = SketchParams::new(3, 16);
+        let shared = SharedCountSketch::new(params, 5);
+        let key = ItemKey(9);
+        shared.update(key, i64::MIN);
+        shared.update(key, i64::MAX);
+        // Cell states must match the scalar slow tier exactly (positive
+        // sign rows end at -1; negative sign rows clamp then cancel).
+        let mut plain = CountSketch::new(params, 5);
+        plain.update(key, i64::MIN);
+        plain.update(key, i64::MAX);
+        assert_eq!(shared.snapshot().counters(), plain.counters());
+        assert_eq!(shared.estimate(key), plain.estimate(key));
     }
 
     #[test]

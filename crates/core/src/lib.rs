@@ -25,7 +25,9 @@
 //! benchmarks: mean and trimmed-mean row combiners ([`median`]), a fast
 //! multiply-shift/tabulation hasher configuration
 //! ([`sketch::FastCountSketch`]), and parallel sketching via additivity
-//! ([`concurrent`]).
+//! — a long-lived sharded worker pool, a lock-free atomic shared handle,
+//! and a deterministic parallel APPROXTOP ([`parallel`]), with the older
+//! spawn-per-call fan-out kept in [`concurrent`].
 //!
 //! ## Quick example
 //!
@@ -58,6 +60,7 @@ pub mod iceberg;
 pub mod ingest;
 pub mod maxchange;
 pub mod median;
+pub mod parallel;
 pub mod params;
 pub mod relchange;
 pub mod sketch;
@@ -78,6 +81,10 @@ pub mod prelude {
     pub use crate::hierarchical::{HeavyItem, HierarchicalCountSketch};
     pub use crate::iceberg::{iceberg, IcebergProcessor, IcebergResult};
     pub use crate::maxchange::{max_change, MaxChangeResult};
+    pub use crate::parallel::{
+        parallel_approx_top, sketch_stream_pooled, AtomicCountSketch, ParallelApproxTop,
+        SketchPool,
+    };
     pub use crate::params::SketchParams;
     pub use crate::relchange::{max_relative_change, ChangeObjective, RelChangeSketch};
     pub use crate::sketch::{

@@ -50,7 +50,7 @@ pub mod traits;
 pub use crc32::{crc32, Crc32};
 pub use fastdiv::FastDivisor;
 pub use kwise::PolynomialHash;
-pub use mix::ItemKey;
+pub use mix::{shard_of, ItemKey};
 pub use multiply_shift::MultiplyShift;
 pub use pairwise::PairwiseHash;
 pub use seed::SeedSequence;

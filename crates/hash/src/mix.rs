@@ -36,6 +36,28 @@ impl From<u64> for ItemKey {
     }
 }
 
+/// Salt applied before the shard mix so [`shard_of`] is not correlated
+/// with the identity reduction (`ItemKey::from(u64)` keys are often
+/// sequential) nor with any sketch hash family.
+const SHARD_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic key-hash shard assignment: maps `key` to a shard in
+/// `0..shards`, the same shard for every occurrence of the key.
+///
+/// Used by the parallel ingestion pipeline to partition streams so that
+/// all occurrences of one item land on one worker — per-worker candidate
+/// sets are then disjoint, and each worker sees its keys in stream
+/// order. The mix is fixed (salted SplitMix64), independent of any
+/// sketch seed: re-seeding a sketch never re-shards the stream.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[inline]
+pub fn shard_of(key: ItemKey, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    (finalize(key.raw() ^ SHARD_SALT) % shards as u64) as usize
+}
+
 /// SplitMix64 finalizer: a fixed bijection on u64 that destroys the
 /// structure of FNV output (FNV alone has weak low bits on short inputs).
 #[inline]
@@ -122,6 +144,40 @@ mod tests {
     #[test]
     fn item_key_from_u64_is_identity() {
         assert_eq!(ItemKey::from(7u64).raw(), 7);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8, 17] {
+            for id in 0..1000u64 {
+                let s = shard_of(ItemKey(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ItemKey(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_keys() {
+        // Sequential ids (the worst case for an unmixed modulus) must not
+        // collapse onto a few shards.
+        let shards = 8usize;
+        let mut counts = vec![0usize; shards];
+        for id in 0..8000u64 {
+            counts[shard_of(ItemKey(id), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {s} got {c} of 8000 sequential keys"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_zero_shards_rejected() {
+        shard_of(ItemKey(1), 0);
     }
 
     proptest! {

@@ -7,6 +7,7 @@
 //! cat stream | fi top                # reads stdin when no file given
 //! fi top --snapshot s.csnp log.1     # persist state, then later
 //! fi top --resume s.csnp log.2       # continue counting across runs
+//! fi top --threads 4 access.log      # sharded multi-core ingestion
 //! ```
 //!
 //! Exit codes: 0 success, 2 bad invocation, 3 I/O failure, 4 corrupt
@@ -22,7 +23,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: fi <top|diff|iceberg> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] \
-                 [--phi P] [--eps E] [--algorithm A] [--snapshot PATH] [--resume PATH] [FILE...]"
+                 [--phi P] [--eps E] [--algorithm A] [--threads N] [--snapshot PATH] \
+                 [--resume PATH] [FILE...]"
             );
             std::process::exit(cli::EXIT_USAGE);
         }

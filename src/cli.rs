@@ -4,7 +4,7 @@
 //! text pipeline are unit-testable; `src/bin/fi.rs` is a thin shell.
 //!
 //! ```text
-//! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S]
+//! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S] [--threads N]
 //!        [--snapshot PATH] [--resume PATH] [FILE]
 //!     one-pass APPROXTOP over whitespace-separated items
 //! fi diff [-k N] [-t ROWS] [-b BUCKETS] [--seed S] FILE1 FILE2
@@ -103,6 +103,9 @@ pub struct Options {
     pub snapshot: Option<String>,
     /// Restore state from this snapshot before processing (`top` only).
     pub resume: Option<String>,
+    /// Ingestion worker threads (`top` with count-sketch only; 1 =
+    /// sequential).
+    pub threads: usize,
     /// Positional file arguments.
     pub files: Vec<String>,
 }
@@ -120,6 +123,7 @@ impl Default for Options {
             algorithm: "count-sketch".into(),
             snapshot: None,
             resume: None,
+            threads: 1,
             files: Vec::new(),
         }
     }
@@ -170,6 +174,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--snapshot" => opts.snapshot = Some(flag_value("--snapshot")?.clone()),
             "--resume" => opts.resume = Some(flag_value("--resume")?.clone()),
+            "--threads" => {
+                opts.threads = flag_value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             file => opts.files.push(file.to_string()),
         }
@@ -181,6 +190,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         && (opts.command != "top" || opts.algorithm != "count-sketch")
     {
         return Err("--snapshot/--resume require 'top' with the count-sketch algorithm".into());
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if opts.threads > 1 && (opts.command != "top" || opts.algorithm != "count-sketch") {
+        return Err("--threads > 1 requires 'top' with the count-sketch algorithm".into());
     }
     match opts.command.as_str() {
         "diff" if opts.files.len() != 2 => Err("diff needs exactly two files".into()),
@@ -267,26 +282,36 @@ pub fn run_top(opts: &Options, text: &str) -> Result<String, CliError> {
     let (stream, labels) = tokenize(text);
     let items: Vec<(ItemKey, i64)> = match opts.algorithm.as_str() {
         "count-sketch" => {
-            let mut p = match &opts.resume {
+            let restored = match &opts.resume {
                 Some(path) => {
                     let bytes = read_snapshot_file(Path::new(path)).map_err(|e| CliError::Io {
                         path: path.clone(),
                         message: e.to_string(),
                     })?;
-                    <ApproxTopProcessor>::from_snapshot_bytes(&bytes).map_err(|e| {
-                        CliError::Corrupt {
-                            path: path.clone(),
-                            message: e.to_string(),
-                        }
-                    })?
+                    Some(
+                        <ApproxTopProcessor>::from_snapshot_bytes(&bytes).map_err(|e| {
+                            CliError::Corrupt {
+                                path: path.clone(),
+                                message: e.to_string(),
+                            }
+                        })?,
+                    )
                 }
-                None => ApproxTopProcessor::new(
-                    SketchParams::new(opts.rows, opts.buckets),
-                    opts.k,
-                    opts.seed,
-                ),
+                None => None,
             };
-            p.observe_stream(&stream);
+            let p = if opts.threads > 1 {
+                run_top_parallel(opts, &stream, &labels, restored)?
+            } else {
+                let mut p = restored.unwrap_or_else(|| {
+                    ApproxTopProcessor::new(
+                        SketchParams::new(opts.rows, opts.buckets),
+                        opts.k,
+                        opts.seed,
+                    )
+                });
+                p.observe_stream(&stream);
+                p
+            };
             if let Some(path) = &opts.snapshot {
                 write_snapshot_file(Path::new(path), &p.to_snapshot_bytes()).map_err(|e| {
                     CliError::Io {
@@ -323,6 +348,59 @@ pub fn run_top(opts: &Options, text: &str) -> Result<String, CliError> {
         out.push_str(&format!("{:>10}  {}\n", est, label(&labels, *key)));
     }
     Ok(out)
+}
+
+/// The `--threads > 1` ingestion path: sketch the stream through the
+/// sharded worker pool ([`SketchPool`]), merge any resumed state in, and
+/// resolve the top-k by re-estimating the candidate set against the
+/// merged sketch.
+///
+/// Determinism: the pool-merged sketch is bit-identical to the
+/// sequential sketch, the candidate set (every distinct token seen this
+/// session, plus any resumed tracked keys) does not depend on the thread
+/// count, and candidates are resolved in sorted-key order — so the
+/// report and any written snapshot are byte-identical for every
+/// `--threads N > 1`.
+fn run_top_parallel(
+    opts: &Options,
+    stream: &Stream,
+    labels: &HashMap<ItemKey, String>,
+    restored: Option<ApproxTopProcessor>,
+) -> Result<ApproxTopProcessor, CliError> {
+    let params = SketchParams::new(opts.rows, opts.buckets);
+    let mut pool = SketchPool::new(params, opts.seed, opts.threads);
+    pool.ingest_stream(stream);
+    let mut merged = pool.finish();
+    let mut candidates: Vec<ItemKey> = labels.keys().copied().collect();
+    if let Some(p) = restored {
+        let (prior_sketch, prior_tracker, _) = p.into_parts();
+        match merged.merge(&prior_sketch) {
+            Ok(()) => {}
+            Err(CoreError::CounterSaturated { .. }) => merged
+                .merge_saturating(&prior_sketch)
+                .expect("dimensions already validated by the failed strict merge"),
+            Err(e) => {
+                // The snapshot's sketch geometry/seed wins over -t/-b in
+                // the sequential path; in the parallel path the pool was
+                // already built from the flags, so a mismatch is fatal.
+                return Err(CliError::Usage(format!(
+                    "--resume snapshot incompatible with sketch options: {e}"
+                )));
+            }
+        }
+        candidates.extend(prior_tracker.items_desc().into_iter().map(|(k, _)| k));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut tracker = TopKTracker::new(opts.k);
+    for &key in &candidates {
+        tracker.offer(key, merged.estimate(key));
+    }
+    Ok(ApproxTopProcessor::from_parts(
+        merged,
+        tracker,
+        HeapPolicy::default(),
+    ))
 }
 
 /// Runs `fi diff` over two input texts; returns the report.
@@ -486,6 +564,86 @@ mod tests {
         assert!(parse_args(&args("diff --snapshot s.csnp a b")).is_err());
         assert!(parse_args(&args("top --algorithm lossy --resume r.csnp")).is_err());
         assert!(parse_args(&args("top --snapshot")).is_err());
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let o = parse_args(&args("top --threads 4")).unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(parse_args(&args("top")).unwrap().threads, 1);
+        assert!(parse_args(&args("top --threads 0")).is_err());
+        assert!(parse_args(&args("top --threads nope")).is_err());
+        // Only the count-sketch `top` path is sharded.
+        assert!(parse_args(&args("diff --threads 2 a b")).is_err());
+        assert!(parse_args(&args("iceberg --threads 2")).is_err());
+        assert!(parse_args(&args("top --algorithm lossy --threads 2")).is_err());
+        // threads = 1 is the sequential default, allowed anywhere.
+        assert!(parse_args(&args("iceberg --threads 1")).is_ok());
+    }
+
+    #[test]
+    fn threaded_top_reports_match_sequential() {
+        let text = "x ".repeat(100) + &"y ".repeat(30) + &"z ".repeat(7) + "w";
+        let mut opts = Options {
+            command: "top".into(),
+            k: 3,
+            ..Default::default()
+        };
+        let sequential = run_top(&opts, &text).unwrap();
+        for threads in [2, 4, 8] {
+            opts.threads = threads;
+            let report = run_top(&opts, &text).unwrap();
+            assert_eq!(report, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_snapshot_resume_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-threads-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text1 = "x ".repeat(60) + &"y ".repeat(25);
+        let text2 = "x ".repeat(40) + &"y ".repeat(5) + &"z ".repeat(33);
+
+        // Snapshots written at different thread counts are byte-identical:
+        // the pool-merged sketch is bit-identical to sequential and the
+        // tracker resolution is thread-count-invariant.
+        let mut snaps = Vec::new();
+        for threads in [2, 4] {
+            let snap = dir
+                .join(format!("t{threads}.csnp"))
+                .to_string_lossy()
+                .into_owned();
+            let opts = Options {
+                command: "top".into(),
+                k: 2,
+                threads,
+                snapshot: Some(snap.clone()),
+                ..Default::default()
+            };
+            run_top(&opts, &text1).unwrap();
+            snaps.push(std::fs::read(&snap).unwrap());
+        }
+        assert_eq!(snaps[0], snaps[1], "snapshot bytes differ across thread counts");
+
+        // Resuming a threaded snapshot — at any thread count, including
+        // sequentially — continues the count across both sessions.
+        let snap = dir.join("t2.csnp").to_string_lossy().into_owned();
+        for threads in [1, 2, 4] {
+            let opts = Options {
+                command: "top".into(),
+                k: 2,
+                threads,
+                resume: Some(snap.clone()),
+                ..Default::default()
+            };
+            let report = run_top(&opts, &text2).unwrap();
+            let first = report.lines().nth(1).unwrap();
+            assert!(
+                first.contains("100") && first.contains('x'),
+                "threads = {threads}: {report}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

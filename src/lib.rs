@@ -75,8 +75,14 @@ pub mod prelude {
     pub use cs_core::distributed::{
         ExclusionReason, MergeReport, QuorumCoordinator, QuorumOutcome, RetryPolicy,
     };
+    pub use cs_core::approx_top::HeapPolicy;
     pub use cs_core::maxchange::{max_change, DiffSketch, MaxChangeResult};
+    pub use cs_core::parallel::{
+        parallel_approx_top, sketch_stream_pooled, AtomicCountSketch, ParallelApproxTop,
+        SketchPool,
+    };
     pub use cs_core::sketch::{CheckedEstimate, SketchHealth};
+    pub use cs_core::topk::TopKTracker;
     pub use cs_core::snapshot::{read_snapshot_file, write_snapshot_file};
     pub use cs_core::{CoreError, CountSketch, FastCountSketch, SketchParams};
     pub use cs_hash::ItemKey;
