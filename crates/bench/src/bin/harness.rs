@@ -17,17 +17,20 @@
 //!   hierarchical      1-pass hierarchical max-change vs the 2-pass §4.2 algorithm
 //!   throughput        update/query throughput of every algorithm
 //!   parallel          multi-core ingestion scaling sweep (pool/atomic/striped)
+//!   query             read-path ESTIMATE throughput (scalar/batch/cached × depth)
 //!   report            re-render stored --records JSONL as tables
 //!   check-throughput  compare a BENCH_throughput.json against a baseline
 //!   check-parallel    gate a BENCH_parallel.json: regression + 4-thread speedup
+//!   check-query       gate a BENCH_query.json: regression + 2x batch kernel speedup
 //!   all               every experiment above
 //! ```
 //!
 //! `--small` runs the reduced test-scale workload (seconds instead of
 //! minutes). `--records <path>` appends JSON-line records for each data
-//! point. The throughput and parallel experiments additionally write a
-//! machine-readable `BENCH_throughput.json` / `BENCH_parallel.json`
-//! (default: current directory; override with `--bench-json <path>`).
+//! point. The throughput, parallel and query experiments additionally
+//! write a machine-readable `BENCH_throughput.json` /
+//! `BENCH_parallel.json` / `BENCH_query.json` (default: current
+//! directory; override with `--bench-json <path>`).
 //!
 //! `check-throughput` is the CI regression gate:
 //!
@@ -55,17 +58,31 @@
 //! on a pool 4-thread/1-thread speedup below `--min-speedup`. On smaller
 //! hosts the speedup gate prints a loud warning instead of arming, since
 //! parallel speedup on a 1-core box is noise.
+//!
+//! `check-query` gates the read path:
+//!
+//! ```text
+//! harness check-query [--baseline ci/query_baseline.json]
+//!                     [--current BENCH_query.json]
+//!                     [--tolerance 0.5] [--min-ratio 2.0]
+//! ```
+//!
+//! fails on a stale git revision, on a scalar `t = 5` Zipf-mix
+//! regression beyond `--tolerance`, and on a batch/scalar kernel ratio
+//! at `t = 5` below `--min-ratio`. The ratio gate is *always* armed: it
+//! compares two single-threaded paths over the same probes in the same
+//! process, so unlike parallel speedup it is meaningful on any host.
 
 use cs_bench::experiments::{
     ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, parallel,
-    payload, table1, throughput, ExperimentOutput,
+    payload, query, table1, throughput, ExperimentOutput,
 };
 use cs_bench::Scale;
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|parallel|report|check-throughput|check-parallel|all> [--small] [--records <path>] [--bench-json <path>]"
+        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|parallel|query|report|check-throughput|check-parallel|check-query|all> [--small] [--records <path>] [--bench-json <path>]"
     );
     std::process::exit(2);
 }
@@ -237,6 +254,70 @@ fn check_parallel(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `check-query`: the read-path gate. Three checks, in order:
+/// `--current` must have been benchmarked at HEAD; the scalar `t = 5`
+/// Zipf-mix rate must be within `--tolerance` of the baseline (the
+/// baseline read path must not creep); and the batch/scalar ratio at
+/// `t = 5` must reach `--min-ratio` (default 2.0) — the batched kernel's
+/// reason to exist, measured within one process so it is armed on every
+/// host.
+fn check_query(args: &[String]) -> ! {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = get("--baseline").unwrap_or_else(|| "ci/query_baseline.json".into());
+    let current_path = get("--current").unwrap_or_else(|| "BENCH_query.json".into());
+    let tolerance: f64 = get("--tolerance")
+        .map(|s| s.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.5);
+    let min_ratio: f64 = get("--min-ratio")
+        .map(|s| s.parse().expect("--min-ratio must be a number"))
+        .unwrap_or(2.0);
+    let current_text = read_or_die(&current_path);
+    assert_fresh_rev(&current_path, &current_text);
+    let baseline = query::parse_bench_json(&read_or_die(&baseline_path));
+    let current = query::parse_bench_json(&current_text);
+    let pick = |map: &std::collections::BTreeMap<String, f64>, key: &str, path: &str| {
+        *map.get(key).unwrap_or_else(|| {
+            eprintln!("no '{key}' record in {path}");
+            std::process::exit(1);
+        })
+    };
+    let base_scalar = pick(&baseline, "scalar-zipf@5", &baseline_path);
+    let cur_scalar = pick(&current, "scalar-zipf@5", &current_path);
+    let floor = base_scalar * (1.0 - tolerance);
+    if cur_scalar < floor {
+        eprintln!(
+            "FAIL: scalar t=5 query throughput {cur_scalar:.1} Mops/s is below \
+             {floor:.1} Mops/s ({:.0}% tolerance on baseline {base_scalar:.1})",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: scalar t=5 query throughput {cur_scalar:.1} Mops/s >= {floor:.1} Mops/s \
+         ({:.0}% tolerance on baseline {base_scalar:.1})",
+        tolerance * 100.0
+    );
+    let cur_batch = pick(&current, "batch-zipf@5", &current_path);
+    let ratio = cur_batch / cur_scalar;
+    if ratio < min_ratio {
+        eprintln!(
+            "FAIL: batch/scalar kernel ratio {ratio:.2}x ({cur_batch:.1} / {cur_scalar:.1} \
+             Mops/s) at t=5 is below the required {min_ratio:.2}x"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: batch/scalar kernel ratio {ratio:.2}x ({cur_batch:.1} / {cur_scalar:.1} Mops/s) \
+         at t=5 >= {min_ratio:.2}x"
+    );
+    std::process::exit(0);
+}
+
 fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
     match name {
         "table1" => Some(table1::run(scale, &table1::DEFAULT_ZS)),
@@ -260,13 +341,15 @@ fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
         "hierarchical" => Some(hierarchical::run(scale, &[256, 1024, 4096])),
         "throughput" => Some(throughput::run(scale)),
         "parallel" => Some(parallel::run(scale)),
+        "query" => Some(query::run(scale)),
         _ => None,
     }
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "throughput",
     "parallel",
+    "query",
     "hierarchical",
     "list-size",
     "table1",
@@ -291,6 +374,9 @@ fn main() {
     }
     if experiment == "check-parallel" {
         check_parallel(&args[1..]);
+    }
+    if experiment == "check-query" {
+        check_query(&args[1..]);
     }
     // `harness report --records <path>` re-renders stored records
     // without running anything.
@@ -357,6 +443,7 @@ fn main() {
                 "BENCH_parallel.json",
                 parallel::bench_json(&out, &scale, &git_rev(), parallel::host_cores()),
             )),
+            "query" => Some(("BENCH_query.json", query::bench_json(&out, &scale, &git_rev()))),
             _ => None,
         };
         if let Some((default_path, json)) = bench_json_payload {

@@ -23,7 +23,7 @@
 use crate::ingest::{IngestLanes, BLOCK};
 use crate::median::Combiner;
 use crate::params::SketchParams;
-use crate::sketch::{CountSketch, EstimateScratch, GenericCountSketch};
+use crate::sketch::{CountSketch, EstimateBatchScratch, EstimateScratch, GenericCountSketch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
@@ -67,6 +67,11 @@ pub struct ApproxTopProcessor<H = cs_hash::PairwiseHash, S = cs_hash::PairwiseSi
     tracker: TopKTracker,
     policy: HeapPolicy,
     scratch: EstimateScratch,
+    /// Standing lanes for the batched read path (transient, like
+    /// `scratch`: rebuilt empty by `from_parts`).
+    batch: EstimateBatchScratch,
+    cand_keys: Vec<ItemKey>,
+    cand_ests: Vec<i64>,
 }
 
 impl ApproxTopProcessor<cs_hash::PairwiseHash, cs_hash::PairwiseSign> {
@@ -88,6 +93,9 @@ where
             tracker: TopKTracker::new(k),
             policy: HeapPolicy::default(),
             scratch: EstimateScratch::new(),
+            batch: EstimateBatchScratch::new(),
+            cand_keys: Vec::with_capacity(BLOCK),
+            cand_ests: Vec::with_capacity(BLOCK),
         }
     }
 
@@ -148,6 +156,23 @@ where
                 .update_batch_weighted_with_lanes(block, 1, &mut lanes);
             match self.policy {
                 HeapPolicy::IncrementTracked => {
+                    // Pre-estimate, through the batch kernel, the unique
+                    // keys untracked when the block starts — a superset
+                    // of what the sequential rule below can estimate,
+                    // short of rare mid-block evictions (those take the
+                    // scalar probe). All estimates are post-block values
+                    // either way, so hoisting them changes no decision.
+                    self.cand_keys.clear();
+                    for &key in block {
+                        if !self.tracker.contains(key) && !self.cand_keys.contains(&key) {
+                            self.cand_keys.push(key);
+                        }
+                    }
+                    self.sketch.estimate_batch_with_scratch(
+                        &self.cand_keys,
+                        &mut self.batch,
+                        &mut self.cand_ests,
+                    );
                     let mut offered_len = 0usize;
                     for &key in block {
                         let offered_here = offered[..offered_len].contains(&key);
@@ -160,7 +185,10 @@ where
                         } else if self.tracker.increment(key) {
                             continue;
                         }
-                        let est = self.sketch.estimate_with_scratch(key, &mut self.scratch);
+                        let est = match self.cand_keys.iter().position(|&c| c == key) {
+                            Some(p) => self.cand_ests[p],
+                            None => self.sketch.estimate_with_scratch(key, &mut self.scratch),
+                        };
                         self.tracker.offer(key, est);
                         if !offered_here && self.tracker.contains(key) {
                             offered[offered_len] = key;
@@ -170,9 +198,14 @@ where
                 }
                 HeapPolicy::AlwaysReEstimate => {
                     // Offers replace stored values, so duplicates within
-                    // a block are harmless (same estimate, same result).
-                    for &key in block {
-                        let est = self.sketch.estimate_with_scratch(key, &mut self.scratch);
+                    // a block are harmless (same estimate, same result);
+                    // the whole block goes through the batch kernel.
+                    self.sketch.estimate_batch_with_scratch(
+                        block,
+                        &mut self.batch,
+                        &mut self.cand_ests,
+                    );
+                    for (&key, &est) in block.iter().zip(&self.cand_ests) {
                         self.tracker.offer(key, est);
                     }
                 }
@@ -225,6 +258,9 @@ where
             tracker,
             policy,
             scratch: EstimateScratch::new(),
+            batch: EstimateBatchScratch::new(),
+            cand_keys: Vec::with_capacity(BLOCK),
+            cand_ests: Vec::with_capacity(BLOCK),
         }
     }
 

@@ -17,10 +17,12 @@
 //! scaling benchmarks and for callers that want strictly bounded memory
 //! (no overflow side sketch).
 
+use crate::median::combine;
 use crate::params::SketchParams;
-use crate::sketch::CountSketch;
+use crate::sketch::{CountSketch, EstimateScratch};
 use cs_hash::ItemKey;
 use cs_stream::Stream;
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex};
 
 /// Sketches a stream in parallel on `threads` workers and merges the
@@ -136,14 +138,31 @@ impl SharedCountSketch {
     /// Estimates a count (thread-safe; takes the row locks one at a time,
     /// so the estimate is not an atomic snapshot across rows — fine for
     /// the sketch's probabilistic guarantees, which are per-row).
+    ///
+    /// Allocation-free: the row buffer lives in a thread-local
+    /// [`EstimateScratch`] (it used to be a fresh `Vec` per call). Hot
+    /// loops that already own a scratch can pass it explicitly via
+    /// [`Self::estimate_with_scratch`].
     pub fn estimate(&self, key: ItemKey) -> i64 {
-        let mut rows_est = Vec::with_capacity(self.inner.rows.len());
+        thread_local! {
+            static SCRATCH: RefCell<EstimateScratch> = RefCell::new(EstimateScratch::new());
+        }
+        SCRATCH.with(|s| self.estimate_with_scratch(key, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::estimate`] with a caller-owned scratch, for hot query
+    /// loops that probe many keys against the shared handle.
+    pub fn estimate_with_scratch(&self, key: ItemKey, scratch: &mut EstimateScratch) -> i64 {
+        scratch.rows.clear();
         for (i, (bucket, sign)) in self.inner.template.row_cells(key).enumerate() {
             let row = self.inner.rows[i].lock().expect("row lock poisoned");
-            rows_est.push(sign.saturating_mul(row.counters[bucket]));
+            scratch.rows.push(sign.saturating_mul(row.counters[bucket]));
         }
-        let mut scratch = Vec::with_capacity(rows_est.len());
-        crate::median::median(&rows_est, &mut scratch)
+        combine(
+            self.inner.template.combiner(),
+            &scratch.rows,
+            &mut scratch.sort,
+        )
     }
 
     /// Freezes into a plain sketch: counters, saturation flags (when the
@@ -214,6 +233,23 @@ mod tests {
         assert_eq!(shared.snapshot().counters(), plain.counters());
         for id in 0..100u64 {
             assert_eq!(shared.estimate(ItemKey(id)), plain.estimate(ItemKey(id)));
+        }
+    }
+
+    #[test]
+    fn shared_estimate_with_scratch_matches_plain_estimate() {
+        let zipf = Zipf::new(80, 1.0);
+        let stream = zipf.stream(4_000, 12, ZipfStreamKind::Sampled);
+        let shared = SharedCountSketch::new(SketchParams::new(5, 64), 21);
+        for key in stream.iter() {
+            shared.add(key);
+        }
+        let mut scratch = EstimateScratch::new();
+        for id in 0..80u64 {
+            assert_eq!(
+                shared.estimate_with_scratch(ItemKey(id), &mut scratch),
+                shared.estimate(ItemKey(id))
+            );
         }
     }
 

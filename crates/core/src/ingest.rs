@@ -47,8 +47,9 @@ pub const BLOCK: usize = 32;
 /// Widest sketch the stack lanes cover. Taller sketches (rare: the
 /// paper's `t` is `O(log n/δ)`, and the repo's experiments top out at
 /// `t = 11`) take the scalar-per-key fallback inside the same headroom
-/// scheme.
-const LANE_ROWS: usize = 16;
+/// scheme. Shared with the read path's batch-estimate lanes
+/// ([`crate::sketch::EstimateBatchScratch`]).
+pub(crate) const LANE_ROWS: usize = 16;
 
 /// Reusable stack lanes for the block engine — row-major: lane
 /// `i*BLOCK + j` holds row i's cell for the j-th key of the current

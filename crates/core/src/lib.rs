@@ -62,6 +62,7 @@ pub mod maxchange;
 pub mod median;
 pub mod parallel;
 pub mod params;
+pub mod query;
 pub mod relchange;
 pub mod sketch;
 pub mod snapshot;
@@ -86,11 +87,16 @@ pub mod prelude {
         SketchPool,
     };
     pub use crate::params::SketchParams;
+    pub use crate::query::QueryEngine;
     pub use crate::relchange::{max_relative_change, ChangeObjective, RelChangeSketch};
     pub use crate::sketch::{
-        CheckedEstimate, CountSketch, FastCountSketch, GenericCountSketch, SketchHealth,
+        CheckedEstimate, CountSketch, EstimateBatchScratch, EstimateScratch, FastCountSketch,
+        GenericCountSketch, SketchHealth,
     };
-    pub use crate::snapshot::{read_snapshot_file, write_snapshot_file};
+    pub use crate::snapshot::{
+        inspect_snapshot_bytes, read_snapshot_file, write_snapshot_file, SnapshotInfo,
+        SnapshotKind,
+    };
     pub use crate::topk::TopKTracker;
     pub use crate::window::SlidingSketch;
     pub use cs_hash::ItemKey;

@@ -20,8 +20,9 @@
 //! Finally report the `k` items with the largest `|n_q^{S2} - n_q^{S1}|`
 //! among `A`.
 
+use crate::ingest::BLOCK;
 use crate::params::SketchParams;
-use crate::sketch::{CountSketch, EstimateScratch};
+use crate::sketch::{CountSketch, EstimateBatchScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
@@ -104,26 +105,47 @@ impl DiffSketch {
         let mut tracker = TopKTracker::new(l);
         let mut exact: HashMap<ItemKey, (u64, u64)> = HashMap::new();
         let mut estimates: HashMap<ItemKey, i64> = HashMap::new();
-        let mut scratch = EstimateScratch::new();
+        let mut scratch = EstimateBatchScratch::new();
+        let mut cand_keys: Vec<ItemKey> = Vec::with_capacity(BLOCK);
+        let mut cand_ests: Vec<i64> = Vec::with_capacity(BLOCK);
 
         let mut pass = |stream: &Stream, which: usize| {
-            for key in stream.iter() {
-                if !tracker.contains(key) {
-                    let est = self.sketch.estimate_with_scratch(key, &mut scratch);
-                    if let Some((evicted, _)) = tracker.offer(key, est.abs()) {
-                        exact.remove(&evicted);
-                        estimates.remove(&evicted);
-                    }
-                    if tracker.contains(key) {
-                        exact.insert(key, (0, 0));
-                        estimates.insert(key, est);
+            for block in stream.as_slice().chunks(BLOCK) {
+                // n̂_q is fixed throughout pass 2, so the estimates of a
+                // block's untracked arrivals can be hoisted out of the
+                // sequential scan and computed through the batch kernel
+                // without changing a single admission decision.
+                cand_keys.clear();
+                for &key in block {
+                    if !tracker.contains(key) && !cand_keys.contains(&key) {
+                        cand_keys.push(key);
                     }
                 }
-                if let Some(counts) = exact.get_mut(&key) {
-                    if which == 1 {
-                        counts.0 += 1;
-                    } else {
-                        counts.1 += 1;
+                self.sketch
+                    .estimate_batch_with_scratch(&cand_keys, &mut scratch, &mut cand_ests);
+                for &key in block {
+                    if !tracker.contains(key) {
+                        let est = match cand_keys.iter().position(|&c| c == key) {
+                            Some(p) => cand_ests[p],
+                            // Tracked at block start but evicted mid-block:
+                            // rare enough for the scalar probe.
+                            None => self.sketch.estimate(key),
+                        };
+                        if let Some((evicted, _)) = tracker.offer(key, est.abs()) {
+                            exact.remove(&evicted);
+                            estimates.remove(&evicted);
+                        }
+                        if tracker.contains(key) {
+                            exact.insert(key, (0, 0));
+                            estimates.insert(key, est);
+                        }
+                    }
+                    if let Some(counts) = exact.get_mut(&key) {
+                        if which == 1 {
+                            counts.0 += 1;
+                        } else {
+                            counts.1 += 1;
+                        }
                     }
                 }
             }

@@ -43,6 +43,11 @@ pub fn combine(combiner: Combiner, estimates: &[i64], scratch: &mut Vec<i64>) ->
 /// estimator stays unbiased for symmetric error distributions.
 pub fn median(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
     assert!(!values.is_empty());
+    // The common sketch depths take a branch-free median-selection
+    // network and never touch the scratch buffer at all.
+    if let Some(m) = median_network(values) {
+        return m;
+    }
     scratch.clear();
     scratch.extend_from_slice(values);
     let n = scratch.len();
@@ -73,6 +78,111 @@ pub fn median(values: &[i64], scratch: &mut Vec<i64>) -> i64 {
 
 /// Lengths up to this take the insertion-sort path in [`median`].
 const SMALL_SORT: usize = 16;
+
+/// Branch-free median for the common fixed sketch depths `t ∈ {3,5,7,9}`,
+/// or `None` for every other length (the generic [`median`] path covers
+/// those). The lengths handled here are odd, so the median is a unique
+/// element of the input and the result is bit-identical to sorting and
+/// taking the middle — no even-length midpoint arises.
+///
+/// Each length runs a fixed median-selection network of `min`/`max`
+/// compare-exchanges (Paeth's networks: 3/7/13/19 exchanges). With no
+/// data-dependent branches the estimate hot loop neither mispredicts nor
+/// allocates, which is where the batched read path gets most of its
+/// speedup at these depths.
+#[inline]
+pub fn median_network(values: &[i64]) -> Option<i64> {
+    match values.len() {
+        3 => Some(median3([values[0], values[1], values[2]])),
+        5 => {
+            let mut v = [0i64; 5];
+            v.copy_from_slice(values);
+            Some(median5(v))
+        }
+        7 => {
+            let mut v = [0i64; 7];
+            v.copy_from_slice(values);
+            Some(median7(v))
+        }
+        9 => {
+            let mut v = [0i64; 9];
+            v.copy_from_slice(values);
+            Some(median9(v))
+        }
+        _ => None,
+    }
+}
+
+/// One compare-exchange: after the call `v[i] <= v[j]`. `min`/`max` on
+/// `i64` compile to conditional moves, not branches.
+#[inline(always)]
+fn cx(v: &mut [i64], i: usize, j: usize) {
+    let (a, b) = (v[i], v[j]);
+    v[i] = a.min(b);
+    v[j] = a.max(b);
+}
+
+#[inline]
+pub(crate) fn median3(mut v: [i64; 3]) -> i64 {
+    cx(&mut v, 0, 1);
+    cx(&mut v, 1, 2);
+    cx(&mut v, 0, 1);
+    v[1]
+}
+
+#[inline]
+pub(crate) fn median5(mut v: [i64; 5]) -> i64 {
+    cx(&mut v, 0, 1);
+    cx(&mut v, 3, 4);
+    cx(&mut v, 0, 3);
+    cx(&mut v, 1, 4);
+    cx(&mut v, 1, 2);
+    cx(&mut v, 2, 3);
+    cx(&mut v, 1, 2);
+    v[2]
+}
+
+#[inline]
+pub(crate) fn median7(mut v: [i64; 7]) -> i64 {
+    cx(&mut v, 0, 5);
+    cx(&mut v, 0, 3);
+    cx(&mut v, 1, 6);
+    cx(&mut v, 2, 4);
+    cx(&mut v, 0, 1);
+    cx(&mut v, 3, 5);
+    cx(&mut v, 2, 6);
+    cx(&mut v, 2, 3);
+    cx(&mut v, 3, 6);
+    cx(&mut v, 4, 5);
+    cx(&mut v, 1, 4);
+    cx(&mut v, 1, 3);
+    cx(&mut v, 3, 4);
+    v[3]
+}
+
+#[inline]
+pub(crate) fn median9(mut v: [i64; 9]) -> i64 {
+    cx(&mut v, 1, 2);
+    cx(&mut v, 4, 5);
+    cx(&mut v, 7, 8);
+    cx(&mut v, 0, 1);
+    cx(&mut v, 3, 4);
+    cx(&mut v, 6, 7);
+    cx(&mut v, 1, 2);
+    cx(&mut v, 4, 5);
+    cx(&mut v, 7, 8);
+    cx(&mut v, 0, 3);
+    cx(&mut v, 5, 8);
+    cx(&mut v, 4, 7);
+    cx(&mut v, 3, 6);
+    cx(&mut v, 1, 4);
+    cx(&mut v, 2, 5);
+    cx(&mut v, 4, 7);
+    cx(&mut v, 4, 2);
+    cx(&mut v, 6, 4);
+    cx(&mut v, 4, 2);
+    v[4]
+}
 
 fn insertion_sort(v: &mut [i64]) {
     for i in 1..v.len() {
@@ -179,6 +289,46 @@ mod tests {
     }
 
     #[test]
+    fn network_lengths_route_through_networks() {
+        for n in [3usize, 5, 7, 9] {
+            let v: Vec<i64> = (0..n as i64).rev().collect();
+            assert_eq!(median_network(&v), Some(n as i64 / 2), "n = {n}");
+        }
+        for n in [1usize, 2, 4, 6, 8, 10, 17] {
+            let v = vec![0i64; n];
+            assert_eq!(median_network(&v), None, "n = {n} must fall back");
+        }
+    }
+
+    #[test]
+    fn networks_correct_on_all_01_inputs() {
+        // The 0-1 principle: a min/max comparison network selects the
+        // median for every input iff it does for every 0/1 input, so the
+        // 2^n binary vectors are an exhaustive correctness proof.
+        for n in [3usize, 5, 7, 9] {
+            for bits in 0u32..(1 << n) {
+                let v: Vec<i64> = (0..n).map(|i| i64::from(bits >> i & 1)).collect();
+                let ones = bits.count_ones() as usize;
+                let want = i64::from(ones > n / 2);
+                assert_eq!(
+                    median_network(&v),
+                    Some(want),
+                    "n = {n}, pattern {bits:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn networks_handle_extremes() {
+        assert_eq!(median_network(&[i64::MIN, i64::MAX, 0]), Some(0));
+        assert_eq!(
+            median_network(&[i64::MAX, i64::MAX, i64::MAX, i64::MIN, i64::MIN]),
+            Some(i64::MAX)
+        );
+    }
+
+    #[test]
     fn mean_basic() {
         assert_eq!(mean(&[1, 2, 3]), 2);
         assert_eq!(mean(&[1, 2]), 1); // 1.5 toward zero
@@ -237,6 +387,18 @@ mod tests {
                 ((i128::from(v[n / 2 - 1]) + i128::from(v[n / 2])) / 2) as i64
             };
             prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_network_matches_naive(
+            n_idx in 0usize..4,
+            raw in prop::collection::vec(any::<i64>(), 9),
+        ) {
+            let n = [3usize, 5, 7, 9][n_idx];
+            let v = &raw[..n];
+            let mut sorted = v.to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(median_network(v), Some(sorted[n / 2]));
         }
 
         #[test]

@@ -56,7 +56,7 @@ use crate::approx_top::{ApproxTopProcessor, ApproxTopResult};
 use crate::ingest::IngestLanes;
 use crate::median::combine;
 use crate::params::SketchParams;
-use crate::sketch::{CountSketch, EstimateScratch};
+use crate::sketch::CountSketch;
 use cs_hash::{shard_of, ItemKey};
 use cs_stream::turnstile::Update;
 use cs_stream::{Stream, TurnstileStream};
@@ -396,11 +396,10 @@ impl ParallelApproxTop {
         // resolution order is canonical.
         candidates.sort_unstable();
         candidates.dedup();
-        let mut scratch = EstimateScratch::new();
-        let mut items: Vec<(ItemKey, i64)> = candidates
-            .into_iter()
-            .map(|key| (key, merged.estimate_with_scratch(key, &mut scratch)))
-            .collect();
+        // Re-estimate the whole candidate union through the batched
+        // read kernel — one row-major sweep instead of per-key strides.
+        let estimates = merged.estimate_batch(&candidates);
+        let mut items: Vec<(ItemKey, i64)> = candidates.into_iter().zip(estimates).collect();
         items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         items.truncate(self.k);
         (

@@ -1,0 +1,381 @@
+//! Read-optimized query layer: a serving handle over a Count-Sketch.
+//!
+//! The paper's serving operations — `ESTIMATE(C, q)` (§3), ApproxTop's
+//! per-candidate re-estimation (Lemma 5), the max-change scans (§4.2) —
+//! are batch-shaped: many keys probed against a sketch that changes
+//! rarely or not at all between probes. [`QueryEngine`] packages the
+//! read path for that shape:
+//!
+//! * every estimate goes through the batched kernel
+//!   ([`GenericCountSketch::estimate_batch_with_scratch`]) or its scalar
+//!   equivalent over the engine's **precomputed row views**, with one
+//!   standing scratch — no per-call allocation;
+//! * an optional **bounded hot-key cache** memoizes estimates for skewed
+//!   read mixes. The cache is **epoch-invalidated**: the engine mediates
+//!   all updates and bumps its epoch on any mutation, and a cached value
+//!   is only served while its epoch matches — a cached answer can never
+//!   be stale. Between updates, repeated probes of the same hot keys
+//!   cost one hash-map lookup instead of `t` hash evaluations and `t`
+//!   counter loads.
+//!
+//! The engine owns its sketch precisely so that the epoch contract is
+//! airtight: there is no way to mutate the counters without the engine
+//! seeing it. Estimates are bit-identical to the sketch's own
+//! [`GenericCountSketch::estimate`] for every combiner — cached or not.
+
+use crate::median::combine;
+use crate::sketch::{EstimateBatchScratch, GenericCountSketch};
+use cs_hash::{BucketHasher, ItemKey, SignHasher};
+use cs_stream::Stream;
+use std::collections::HashMap;
+
+/// A read-optimized handle that owns a sketch, routes estimates through
+/// the batched kernel, and (optionally) memoizes hot keys in a bounded
+/// epoch-invalidated cache.
+///
+/// ```
+/// use cs_core::query::QueryEngine;
+/// use cs_core::{CountSketch, SketchParams};
+/// use cs_hash::ItemKey;
+///
+/// let sketch = CountSketch::new(SketchParams::new(5, 256), 42);
+/// let mut engine = QueryEngine::new(sketch).with_hot_key_cache(1024);
+/// engine.update(ItemKey(7), 500);
+/// assert_eq!(engine.estimate(ItemKey(7)), 500); // computed, cached
+/// assert_eq!(engine.estimate(ItemKey(7)), 500); // served from cache
+/// engine.update(ItemKey(7), 1); // bumps the epoch: cache invalidated
+/// assert_eq!(engine.estimate(ItemKey(7)), 501); // never stale
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine<H = cs_hash::PairwiseHash, S = cs_hash::PairwiseSign> {
+    sketch: GenericCountSketch<H, S>,
+    /// Start offset of each row's counters — the precomputed row views
+    /// the scalar path probes without re-deriving `i * buckets`.
+    row_starts: Vec<usize>,
+    scratch: EstimateBatchScratch,
+    cache: Option<HotKeyCache>,
+    /// Bumped on every mutation the engine mediates. Cache entries are
+    /// valid only while their insertion epoch matches.
+    epoch: u64,
+    // Reused split buffers for the cached batch path.
+    miss_keys: Vec<ItemKey>,
+    miss_slots: Vec<usize>,
+    miss_ests: Vec<i64>,
+}
+
+/// The bounded hot-key cache. All entries share one insertion epoch, so
+/// an epoch bump invalidates the whole generation at once (the map is
+/// cleared lazily on the next access); within a generation, slots are
+/// first-come until capacity — under a skewed read mix the hot keys
+/// claim them almost immediately.
+#[derive(Debug, Clone)]
+struct HotKeyCache {
+    capacity: usize,
+    /// Epoch at which the current generation of entries was inserted.
+    epoch: u64,
+    entries: HashMap<ItemKey, i64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl HotKeyCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            epoch: 0,
+            entries: HashMap::with_capacity(capacity.min(1 << 16)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops the previous generation if the engine has moved on.
+    fn sync(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.entries.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    fn get(&mut self, epoch: u64, key: ItemKey) -> Option<i64> {
+        self.sync(epoch);
+        let hit = self.entries.get(&key).copied();
+        match hit {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        hit
+    }
+
+    fn insert(&mut self, epoch: u64, key: ItemKey, value: i64) {
+        self.sync(epoch);
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, value);
+        }
+    }
+}
+
+impl<H: BucketHasher, S: SignHasher> QueryEngine<H, S> {
+    /// Wraps a sketch (cache disabled; see [`Self::with_hot_key_cache`]).
+    pub fn new(sketch: GenericCountSketch<H, S>) -> Self {
+        let buckets = sketch.buckets();
+        let row_starts = (0..sketch.rows()).map(|i| i * buckets).collect();
+        Self {
+            sketch,
+            row_starts,
+            scratch: EstimateBatchScratch::new(),
+            cache: None,
+            epoch: 0,
+            miss_keys: Vec::new(),
+            miss_slots: Vec::new(),
+            miss_ests: Vec::new(),
+        }
+    }
+
+    /// Enables the bounded hot-key cache with room for `capacity`
+    /// estimates. `capacity = 0` disables it again.
+    pub fn with_hot_key_cache(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| HotKeyCache::new(capacity));
+        self
+    }
+
+    /// Read access to the underlying sketch.
+    pub fn sketch(&self) -> &GenericCountSketch<H, S> {
+        &self.sketch
+    }
+
+    /// Unwraps the engine, returning the sketch.
+    pub fn into_sketch(self) -> GenericCountSketch<H, S> {
+        self.sketch
+    }
+
+    /// The current mutation epoch. Every mediated update increments it;
+    /// cached estimates from earlier epochs are never served.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `(hits, misses)` of the hot-key cache since construction, or
+    /// `(0, 0)` when the cache is disabled.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map(|c| (c.hits, c.misses))
+            .unwrap_or((0, 0))
+    }
+
+    /// Adds one occurrence. Bumps the epoch.
+    pub fn add(&mut self, key: ItemKey) {
+        self.update(key, 1);
+    }
+
+    /// Turnstile update. Bumps the epoch.
+    pub fn update(&mut self, key: ItemKey, weight: i64) {
+        self.epoch += 1;
+        self.sketch.update(key, weight);
+    }
+
+    /// Batched weighted update through the block ingestion engine. Bumps
+    /// the epoch (once — invalidation is all-or-nothing per generation).
+    pub fn update_batch_weighted(&mut self, keys: &[ItemKey], weight: i64) {
+        self.epoch += 1;
+        self.sketch.update_batch_weighted(keys, weight);
+    }
+
+    /// Absorbs a stream with `weight` per occurrence. Bumps the epoch.
+    pub fn absorb(&mut self, stream: &Stream, weight: i64) {
+        self.epoch += 1;
+        self.sketch.absorb(stream, weight);
+    }
+
+    /// `ESTIMATE(C, q)` — served from the hot-key cache when the entry's
+    /// epoch is current, computed (and cached) otherwise. Bit-identical
+    /// to [`GenericCountSketch::estimate`].
+    pub fn estimate(&mut self, key: ItemKey) -> i64 {
+        if let Some(cache) = self.cache.as_mut() {
+            if let Some(value) = cache.get(self.epoch, key) {
+                return value;
+            }
+        }
+        let est = self.scalar_estimate(key);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(self.epoch, key, est);
+        }
+        est
+    }
+
+    /// Batched `ESTIMATE` over `keys`: `out[j]` answers `keys[j]`.
+    /// Cache-aware: hits are served directly and only the misses go
+    /// through the batch kernel (then populate the cache). Bit-identical
+    /// to scalar [`GenericCountSketch::estimate`] per key.
+    pub fn estimate_batch(&mut self, keys: &[ItemKey], out: &mut Vec<i64>) {
+        let Some(cache) = self.cache.as_mut() else {
+            self.sketch
+                .estimate_batch_with_scratch(keys, &mut self.scratch, out);
+            return;
+        };
+        out.clear();
+        out.resize(keys.len(), 0);
+        self.miss_keys.clear();
+        self.miss_slots.clear();
+        for (j, &key) in keys.iter().enumerate() {
+            match cache.get(self.epoch, key) {
+                Some(value) => out[j] = value,
+                None => {
+                    self.miss_keys.push(key);
+                    self.miss_slots.push(j);
+                }
+            }
+        }
+        self.sketch.estimate_batch_with_scratch(
+            &self.miss_keys,
+            &mut self.scratch,
+            &mut self.miss_ests,
+        );
+        for ((&j, &key), &est) in self
+            .miss_slots
+            .iter()
+            .zip(&self.miss_keys)
+            .zip(&self.miss_ests)
+        {
+            out[j] = est;
+            cache.insert(self.epoch, key, est);
+        }
+    }
+
+    /// One key through the precomputed row views, no cache involved.
+    fn scalar_estimate(&mut self, key: ItemKey) -> i64 {
+        let k = key.raw();
+        self.scratch.rows.clear();
+        for (i, &start) in self.row_starts.iter().enumerate() {
+            let bucket = self.sketch.hashers[i].bucket(k);
+            let sign = self.sketch.signs[i].sign(k);
+            self.scratch
+                .rows
+                .push(sign.saturating_mul(self.sketch.counters[start + bucket]));
+        }
+        combine(
+            self.sketch.combiner,
+            &self.scratch.rows,
+            &mut self.scratch.sort,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SketchParams;
+    use crate::sketch::CountSketch;
+    use cs_stream::{Zipf, ZipfStreamKind};
+
+    fn loaded_sketch() -> CountSketch {
+        let mut s = CountSketch::new(SketchParams::new(5, 128), 7);
+        let stream = Zipf::new(100, 1.0).stream(10_000, 3, ZipfStreamKind::Sampled);
+        s.absorb(&stream, 1);
+        s
+    }
+
+    #[test]
+    fn engine_matches_sketch_estimates() {
+        let sketch = loaded_sketch();
+        let mut engine = QueryEngine::new(sketch.clone());
+        for id in 0..150u64 {
+            assert_eq!(engine.estimate(ItemKey(id)), sketch.estimate(ItemKey(id)));
+        }
+    }
+
+    #[test]
+    fn cached_engine_matches_and_hits() {
+        let sketch = loaded_sketch();
+        let mut engine = QueryEngine::new(sketch.clone()).with_hot_key_cache(64);
+        for _ in 0..3 {
+            for id in 0..50u64 {
+                assert_eq!(engine.estimate(ItemKey(id)), sketch.estimate(ItemKey(id)));
+            }
+        }
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!(misses, 50, "each key misses exactly once");
+        assert_eq!(hits, 100, "the two re-scans hit");
+    }
+
+    #[test]
+    fn update_invalidates_cache() {
+        let mut engine = QueryEngine::new(loaded_sketch()).with_hot_key_cache(64);
+        let key = ItemKey(0);
+        let before = engine.estimate(key);
+        assert_eq!(engine.estimate(key), before);
+        engine.update(key, 1000);
+        assert_eq!(
+            engine.estimate(key),
+            before + 1000,
+            "stale cache entry served after update"
+        );
+        engine.update_batch_weighted(&[key], 1);
+        assert_eq!(engine.estimate(key), before + 1001);
+    }
+
+    #[test]
+    fn epoch_counts_mutations() {
+        let mut engine = QueryEngine::new(loaded_sketch());
+        assert_eq!(engine.epoch(), 0);
+        engine.add(ItemKey(1));
+        engine.update(ItemKey(2), -5);
+        engine.update_batch_weighted(&[ItemKey(3)], 2);
+        assert_eq!(engine.epoch(), 3);
+    }
+
+    #[test]
+    fn batch_path_with_and_without_cache_matches_scalar() {
+        let sketch = loaded_sketch();
+        let keys: Vec<ItemKey> = (0..120u64).map(|i| ItemKey(i % 40)).collect();
+        let want: Vec<i64> = keys.iter().map(|&k| sketch.estimate(k)).collect();
+        let mut out = Vec::new();
+        let mut plain = QueryEngine::new(sketch.clone());
+        plain.estimate_batch(&keys, &mut out);
+        assert_eq!(out, want);
+        let mut cached = QueryEngine::new(sketch).with_hot_key_cache(16);
+        for _ in 0..2 {
+            cached.estimate_batch(&keys, &mut out);
+            assert_eq!(out, want);
+        }
+        let (hits, _) = cached.cache_stats();
+        assert!(hits > 0, "repeated keys should hit the bounded cache");
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let mut engine = QueryEngine::new(loaded_sketch()).with_hot_key_cache(8);
+        for id in 0..100u64 {
+            engine.estimate(ItemKey(id));
+        }
+        let cache = engine.cache.as_ref().unwrap();
+        assert!(cache.entries.len() <= 8);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut engine = QueryEngine::new(loaded_sketch()).with_hot_key_cache(0);
+        engine.estimate(ItemKey(1));
+        assert_eq!(engine.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn interleaved_updates_and_queries_stay_exact() {
+        let mut engine = QueryEngine::new(CountSketch::new(SketchParams::new(5, 256), 1))
+            .with_hot_key_cache(32);
+        let mut mirror = CountSketch::new(SketchParams::new(5, 256), 1);
+        for round in 0..20i64 {
+            let key = ItemKey((round % 5) as u64);
+            engine.update(key, round);
+            mirror.update(key, round);
+            for id in 0..10u64 {
+                assert_eq!(
+                    engine.estimate(ItemKey(id)),
+                    mirror.estimate(ItemKey(id)),
+                    "round {round} key {id}"
+                );
+            }
+        }
+    }
+}

@@ -25,8 +25,9 @@
 //! set uses exact re-counts exactly as §4.2 does, so the *final ranking*
 //! among the `l` candidates is exact for every objective.
 
+use crate::ingest::BLOCK;
 use crate::params::SketchParams;
-use crate::sketch::{CountSketch, EstimateScratch};
+use crate::sketch::{CountSketch, EstimateBatchScratch};
 use crate::topk::TopKTracker;
 use cs_hash::ItemKey;
 use cs_stream::Stream;
@@ -144,29 +145,51 @@ impl RelChangeSketch {
         assert!(l >= k, "need l >= k");
         let mut tracker = TopKTracker::new(l);
         let mut exact: HashMap<ItemKey, (u64, u64)> = HashMap::new();
-        let mut scratch = EstimateScratch::new();
+        let mut scratch = EstimateBatchScratch::new();
+        let mut cand_keys: Vec<ItemKey> = Vec::with_capacity(BLOCK);
+        let mut cand_deltas: Vec<i64> = Vec::with_capacity(BLOCK);
+        let mut cand_totals: Vec<i64> = Vec::with_capacity(BLOCK);
         const FIXED: f64 = 65_536.0;
 
         let mut pass = |stream: &Stream, which: usize| {
-            for key in stream.iter() {
-                if !tracker.contains(key) {
-                    let delta = self.diff.estimate_with_scratch(key, &mut scratch);
-                    let total = self.sum.estimate_with_scratch(key, &mut scratch);
-                    let c1 = (total - delta) / 2;
-                    let c2 = (total + delta) / 2;
-                    let score = (objective.score(c1, c2) * FIXED).min(i64::MAX as f64) as i64;
-                    if let Some((evicted, _)) = tracker.offer(key, score) {
-                        exact.remove(&evicted);
-                    }
-                    if tracker.contains(key) {
-                        exact.insert(key, (0, 0));
+            for block in stream.as_slice().chunks(BLOCK) {
+                // Both sketches are frozen during pass 2; hoist each
+                // block's untracked probes into two batch-kernel calls
+                // (diff then sum) — admission decisions are unchanged.
+                cand_keys.clear();
+                for &key in block {
+                    if !tracker.contains(key) && !cand_keys.contains(&key) {
+                        cand_keys.push(key);
                     }
                 }
-                if let Some(counts) = exact.get_mut(&key) {
-                    if which == 1 {
-                        counts.0 += 1;
-                    } else {
-                        counts.1 += 1;
+                self.diff
+                    .estimate_batch_with_scratch(&cand_keys, &mut scratch, &mut cand_deltas);
+                self.sum
+                    .estimate_batch_with_scratch(&cand_keys, &mut scratch, &mut cand_totals);
+                for &key in block {
+                    if !tracker.contains(key) {
+                        let (delta, total) = match cand_keys.iter().position(|&c| c == key) {
+                            Some(p) => (cand_deltas[p], cand_totals[p]),
+                            // Evicted mid-block after being tracked at
+                            // block start: rare, take the scalar probes.
+                            None => (self.diff.estimate(key), self.sum.estimate(key)),
+                        };
+                        let c1 = (total - delta) / 2;
+                        let c2 = (total + delta) / 2;
+                        let score = (objective.score(c1, c2) * FIXED).min(i64::MAX as f64) as i64;
+                        if let Some((evicted, _)) = tracker.offer(key, score) {
+                            exact.remove(&evicted);
+                        }
+                        if tracker.contains(key) {
+                            exact.insert(key, (0, 0));
+                        }
+                    }
+                    if let Some(counts) = exact.get_mut(&key) {
+                        if which == 1 {
+                            counts.0 += 1;
+                        } else {
+                            counts.1 += 1;
+                        }
                     }
                 }
             }

@@ -632,14 +632,205 @@ impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
 /// Reusable buffers for [`GenericCountSketch::estimate_with_scratch`].
 #[derive(Debug, Default, Clone)]
 pub struct EstimateScratch {
-    rows: Vec<i64>,
-    sort: Vec<i64>,
+    pub(crate) rows: Vec<i64>,
+    pub(crate) sort: Vec<i64>,
 }
 
 impl EstimateScratch {
     /// Creates empty scratch buffers.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Reusable lanes for [`GenericCountSketch::estimate_batch_with_scratch`]
+/// — the read-path sibling of [`crate::ingest::IngestLanes`]. Row-major:
+/// lane `i*BLOCK + j` holds row `i`'s sign-tagged bucket (and later its
+/// signed row estimate) for the j-th key of the current block. Create
+/// once and reuse; zeroing ~16 KiB of lanes per call would eat the
+/// batch win.
+#[derive(Debug, Clone)]
+pub struct EstimateBatchScratch {
+    /// Bucket index with the row's ±1 sign packed into bit 63 (a bucket
+    /// index never reaches 2^63). One lane instead of two halves the
+    /// staging traffic between the hash and gather passes, and the
+    /// gather recovers the sign mask with a single arithmetic shift.
+    pub(crate) buckets: [usize; BATCH_LANES],
+    pub(crate) ests: [i64; BATCH_LANES],
+    /// Per-key column buffer handed to the combiner (`t` values).
+    pub(crate) rows: Vec<i64>,
+    /// Combiner sort scratch (unused at network depths).
+    pub(crate) sort: Vec<i64>,
+}
+
+/// Keys per read-path block. Twice the write path's
+/// [`crate::ingest::BLOCK`]: the gather pass lives on memory-level
+/// parallelism once the counter array outgrows L1, and a wider block
+/// keeps more independent counter loads in flight; reads have no
+/// two-tier overflow bookkeeping, so the wider lanes stay cheap.
+pub(crate) const READ_BLOCK: usize = 2 * crate::ingest::BLOCK;
+
+/// Lane count: one read block per row, sketch depths up to the
+/// ingestion engine's [`crate::ingest::LANE_ROWS`].
+const BATCH_LANES: usize = READ_BLOCK * crate::ingest::LANE_ROWS;
+
+impl EstimateBatchScratch {
+    /// Fresh (zeroed) lanes and empty combiner buffers.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BATCH_LANES],
+            ests: [0; BATCH_LANES],
+            rows: Vec::new(),
+            sort: Vec::new(),
+        }
+    }
+}
+
+impl Default for EstimateBatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
+    /// Batched `ESTIMATE(C, q)` over a block of keys: the answer for
+    /// `keys[j]` lands in `out[j]`. Bit-identical to calling
+    /// [`Self::estimate`] per key, for every combiner — the same row
+    /// estimates `s_i(q)·C[i][h_i(q)]` (saturating multiply included)
+    /// feed the same combiner; only the order of memory traffic changes.
+    ///
+    /// The kernel mirrors the write path's block engine
+    /// ([`crate::ingest`]): each block of 64 keys is
+    /// canonicalized once per hash family and hashed into the scratch
+    /// lanes rows-outer (every key's `2t` multiply chains are
+    /// independent and pipeline), then the counters are gathered
+    /// **row-major** — each row's bucket array is walked for the whole
+    /// block, keeping a block's worth of independent counter loads in
+    /// flight per row — and finally each key's column is combined, at
+    /// the common depths through a branch-free sorting-network median.
+    /// Sketches taller than the lanes (t > 16) take the scalar path per
+    /// key.
+    ///
+    /// `out` is cleared and refilled; no allocation happens beyond its
+    /// (reused) capacity.
+    pub fn estimate_batch_with_scratch(
+        &self,
+        keys: &[ItemKey],
+        scratch: &mut EstimateBatchScratch,
+        out: &mut Vec<i64>,
+    ) {
+        const BLOCK: usize = READ_BLOCK;
+        out.clear();
+        let lanes_fit = self.rows <= crate::ingest::LANE_ROWS;
+        if !lanes_fit {
+            for &key in keys {
+                self.row_estimates(key, &mut scratch.rows);
+                out.push(combine(self.combiner, &scratch.rows, &mut scratch.sort));
+            }
+            return;
+        }
+        // Results are written through a pre-sized slice rather than
+        // `push`: the per-key capacity-and-length bookkeeping is the kind
+        // of overhead this kernel exists to amortize away.
+        out.resize(keys.len(), 0);
+        let mut done = 0usize;
+        let EstimateBatchScratch {
+            buckets,
+            ests,
+            rows,
+            sort,
+        } = scratch;
+        // At the network depths (median combiner, t ∈ {3,5,7,9}) the
+        // combine pass is a fixed branch-free sorting network dispatched
+        // once per call, and the gather stays block-wide: a whole chunk's
+        // counter loads are independent and in flight together, which is
+        // what keeps the kernel fast once the sketch outgrows L1.
+        let network = self.combiner == Combiner::Median && matches!(self.rows, 3 | 5 | 7 | 9);
+        let mut braw = [0u64; BLOCK];
+        let mut sraw = [0u64; BLOCK];
+        for chunk in keys.chunks(BLOCK) {
+            let n = chunk.len();
+            // Hash pass: each key is canonicalized ONCE per hash family
+            // (for the Mersenne-field families that is the `mod p` fold,
+            // which is idempotent) and the canonical value feeds all `t`
+            // row functions — the scalar path re-folds inside every one
+            // of the `2t` evaluations. Rows outer keeps the per-key
+            // multiply chains independent so they pipeline.
+            for ((b, s), key) in braw.iter_mut().zip(&mut sraw).zip(chunk) {
+                let k = key.raw();
+                *b = self.hashers[0].canon(k);
+                *s = self.signs[0].canon(k);
+            }
+            for (i, (h, sg)) in self.hashers.iter().zip(&self.signs).enumerate() {
+                let bl = &mut buckets[i * BLOCK..i * BLOCK + n];
+                for ((&k, &ks), b) in braw[..n].iter().zip(&sraw[..n]).zip(bl) {
+                    // Sign −1 sets bit 63 of the lane (`±1 >> 1` is the
+                    // 0/−1 mask); the bucket index lives in the low bits.
+                    *b = h.bucket_canon(k)
+                        | (((sg.sign_canon(ks) >> 1) as usize) & (1usize << 63));
+                }
+            }
+            // Gather pass: row-major counter reads, branch-free row
+            // estimates. The lane's sign bit arithmetic-shifts back into
+            // a 0/−1 mask, and the ±1 multiply is mask arithmetic (m = 0
+            // keeps v, m = −1 two's-complement negates, and the wrapping
+            // `fix` turns the one overflow, −i64::MIN, into i64::MAX
+            // exactly like `saturating_mul(-1, ·)`) — branch-free, which
+            // matters because the sign is a fair coin, and off the
+            // multiply port the hash chains keep saturated.
+            for (i, row) in self.counters.chunks_exact(self.buckets).enumerate() {
+                let bl = &buckets[i * BLOCK..i * BLOCK + n];
+                let el = &mut ests[i * BLOCK..i * BLOCK + n];
+                for (&b, e) in bl.iter().zip(el) {
+                    let m = (b as i64) >> 63;
+                    let v = row[b & (usize::MAX >> 1)];
+                    let w = (v ^ m).wrapping_sub(m);
+                    let fix = ((v == i64::MIN) as i64).wrapping_neg() & m;
+                    *e = w.wrapping_add(fix);
+                }
+            }
+            // Combine pass: transpose one key's column out of the lanes
+            // (t strided L1 reads) and run the combiner — at the network
+            // depths that is a branch-free sorting network whose input
+            // array fills straight from the transposed reads.
+            let dst = &mut out[done..done + n];
+            if network {
+                macro_rules! net {
+                    ($f:ident, $($i:literal),+) => {
+                        for (j, d) in dst.iter_mut().enumerate() {
+                            *d = crate::median::$f([$(ests[$i * BLOCK + j]),+]);
+                        }
+                    };
+                }
+                match self.rows {
+                    3 => net!(median3, 0, 1, 2),
+                    5 => net!(median5, 0, 1, 2, 3, 4),
+                    7 => net!(median7, 0, 1, 2, 3, 4, 5, 6),
+                    9 => net!(median9, 0, 1, 2, 3, 4, 5, 6, 7, 8),
+                    _ => unreachable!("the network guard admits only 3/5/7/9"),
+                }
+            } else {
+                for (j, d) in dst.iter_mut().enumerate() {
+                    rows.clear();
+                    for i in 0..self.rows {
+                        rows.push(ests[i * BLOCK + j]);
+                    }
+                    *d = combine(self.combiner, rows, sort);
+                }
+            }
+            done += n;
+        }
+    }
+
+    /// Convenience wrapper around [`Self::estimate_batch_with_scratch`]
+    /// that allocates its own scratch and output. Per-call cost makes it
+    /// the wrong entry point for hot loops; callers with a standing
+    /// scratch should use the `_with_scratch` form.
+    pub fn estimate_batch(&self, keys: &[ItemKey]) -> Vec<i64> {
+        let mut scratch = EstimateBatchScratch::new();
+        let mut out = Vec::with_capacity(keys.len());
+        self.estimate_batch_with_scratch(keys, &mut scratch, &mut out);
+        out
     }
 }
 
@@ -860,6 +1051,69 @@ mod tests {
                 s.estimate(ItemKey(id)),
                 s.estimate_with_scratch(ItemKey(id), &mut scratch)
             );
+        }
+    }
+
+    #[test]
+    fn batch_estimate_matches_scalar_all_combiners() {
+        let zipf = Zipf::new(200, 1.0);
+        let stream = zipf.stream(10_000, 13, ZipfStreamKind::Sampled);
+        for combiner in [Combiner::Median, Combiner::Mean, Combiner::TrimmedMean] {
+            let mut s = small().with_combiner(combiner);
+            s.absorb(&stream, 1);
+            let keys: Vec<ItemKey> = (0..300u64).map(ItemKey).collect();
+            let batch = s.estimate_batch(&keys);
+            for (j, &key) in keys.iter().enumerate() {
+                assert_eq!(batch[j], s.estimate(key), "{combiner:?} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_estimate_block_boundaries() {
+        use super::READ_BLOCK as BLOCK;
+        let mut s = small();
+        let stream = Zipf::new(100, 1.0).stream(5_000, 4, ZipfStreamKind::Sampled);
+        s.absorb(&stream, 1);
+        let mut scratch = EstimateBatchScratch::new();
+        let mut out = Vec::new();
+        for len in [0usize, 1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK + 7] {
+            let keys: Vec<ItemKey> = (0..len as u64).map(ItemKey).collect();
+            s.estimate_batch_with_scratch(&keys, &mut scratch, &mut out);
+            assert_eq!(out.len(), len);
+            for (j, &key) in keys.iter().enumerate() {
+                assert_eq!(out[j], s.estimate(key), "len {len} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_estimate_tall_sketch_takes_scalar_path() {
+        // 17 rows exceeds the lane height; the fallback must agree too.
+        let mut s = CountSketch::new(SketchParams::new(17, 32), 9);
+        let stream = Zipf::new(50, 1.0).stream(2_000, 6, ZipfStreamKind::Sampled);
+        s.absorb(&stream, 1);
+        let keys: Vec<ItemKey> = (0..80u64).map(ItemKey).collect();
+        let batch = s.estimate_batch(&keys);
+        for (j, &key) in keys.iter().enumerate() {
+            assert_eq!(batch[j], s.estimate(key));
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "saturation-tracking")]
+    fn batch_estimate_matches_scalar_on_saturated_cells() {
+        let mut s = CountSketch::new(SketchParams::new(3, 4), 5);
+        for id in 0..16u64 {
+            s.update(ItemKey(id), i64::MAX);
+            s.update(ItemKey(id), i64::MAX);
+            s.update(ItemKey(id + 100), i64::MIN);
+        }
+        assert!(!s.health().is_healthy());
+        let keys: Vec<ItemKey> = (0..200u64).map(ItemKey).collect();
+        let batch = s.estimate_batch(&keys);
+        for (j, &key) in keys.iter().enumerate() {
+            assert_eq!(batch[j], s.estimate(key), "key {key:?}");
         }
     }
 

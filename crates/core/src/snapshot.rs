@@ -136,8 +136,9 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     /// Verifies magic, version and CRC; returns a reader over the body
-    /// (everything between the magic and the trailing checksum).
-    fn open(bytes: &'a [u8], want_kind: u32) -> Result<(Self, u32), CoreError> {
+    /// (everything between the magic and the trailing checksum) plus the
+    /// snapshot's kind code, without constraining what that kind is.
+    fn open_any(bytes: &'a [u8]) -> Result<(Self, u32), CoreError> {
         if bytes.len() < HEADER + 4 {
             return Err(CoreError::CorruptSnapshot(format!(
                 "snapshot too short: {} bytes, need at least {}",
@@ -164,11 +165,6 @@ impl<'a> Reader<'a> {
             return Err(CoreError::ChecksumMismatch { stored, computed });
         }
         let kind = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if kind != want_kind {
-            return Err(CoreError::CorruptSnapshot(format!(
-                "snapshot kind {kind}, expected {want_kind}"
-            )));
-        }
         Ok((
             Self {
                 body: &bytes[..body_end],
@@ -176,6 +172,18 @@ impl<'a> Reader<'a> {
             },
             kind,
         ))
+    }
+
+    /// [`Reader::open_any`] plus a kind check: loading a processor
+    /// snapshot as a bare sketch (or vice versa) is a structural error.
+    fn open(bytes: &'a [u8], want_kind: u32) -> Result<(Self, u32), CoreError> {
+        let (r, kind) = Self::open_any(bytes)?;
+        if kind != want_kind {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "snapshot kind {kind}, expected {want_kind}"
+            )));
+        }
+        Ok((r, kind))
     }
 
     fn remaining(&self) -> usize {
@@ -361,6 +369,171 @@ pub fn read_snapshot_file(path: &Path) -> io::Result<Vec<u8>> {
     std::fs::read(path)
 }
 
+/// What a `CSNP` snapshot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A bare sketch (`kind = 1`).
+    Sketch,
+    /// An approx-top processor: sketch plus tracker (`kind = 2`).
+    Processor,
+}
+
+impl std::fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotKind::Sketch => write!(f, "sketch"),
+            SnapshotKind::Processor => write!(f, "processor"),
+        }
+    }
+}
+
+/// A decoded-for-display summary of a snapshot, produced by
+/// [`inspect_snapshot_bytes`] without reconstructing hash functions or a
+/// live sketch. Drives `fi inspect`.
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Snapshot kind (sketch or processor).
+    pub kind: SnapshotKind,
+    /// The estimate combiner the sketch was configured with.
+    pub combiner: Combiner,
+    /// Sketch depth `t`.
+    pub rows: usize,
+    /// Buckets per row `b` (post-rounding, as stored).
+    pub buckets: usize,
+    /// Hash-function seed.
+    pub seed: u64,
+    /// Total snapshot size in bytes, checksum included.
+    pub total_bytes: usize,
+    /// Saturated (overflowed) cells per row; the per-row health bitset
+    /// in count form — a row is healthy iff its entry is zero.
+    pub row_saturated: Vec<usize>,
+    /// Largest-magnitude counters as `(row, bucket, value)`, magnitude
+    /// descending.
+    pub top_counters: Vec<(usize, usize, i64)>,
+    /// Tracker eviction policy (processor snapshots only).
+    pub policy: Option<HeapPolicy>,
+    /// Tracker capacity `k` (processor snapshots only).
+    pub tracker_capacity: Option<usize>,
+    /// Tracked `(key, estimate)` entries, estimate descending
+    /// (processor snapshots only).
+    pub tracked: Vec<(ItemKey, i64)>,
+}
+
+impl SnapshotInfo {
+    /// Total number of saturated cells across all rows.
+    pub fn saturated_cells(&self) -> usize {
+        self.row_saturated.iter().sum()
+    }
+}
+
+/// Summarizes snapshot bytes for display: header fields, sketch
+/// geometry, per-row saturation, the `top` largest-magnitude counters,
+/// and (for processor snapshots) the tracked entries. Applies the same
+/// total validation as the loaders — checksum first, then every section
+/// length — so feeding it a torn or bit-flipped file yields a typed
+/// [`CoreError`], never a panic.
+pub fn inspect_snapshot_bytes(bytes: &[u8], top: usize) -> Result<SnapshotInfo, CoreError> {
+    let (mut r, kind_code) = Reader::open_any(bytes)?;
+    let kind = match kind_code {
+        KIND_SKETCH => SnapshotKind::Sketch,
+        KIND_PROCESSOR => SnapshotKind::Processor,
+        other => {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "unknown snapshot kind {other}"
+            )))
+        }
+    };
+    let combiner = combiner_from(r.u32()?)?;
+    let rows = r.u64()? as usize;
+    let buckets = r.u64()? as usize;
+    let seed = r.u64()?;
+    let cells = rows
+        .checked_mul(buckets)
+        .ok_or_else(|| CoreError::CorruptSnapshot("rows × buckets overflows".into()))?;
+    let words = cells.div_ceil(64);
+    let need = cells
+        .checked_mul(8)
+        .and_then(|c| c.checked_add(words * 8))
+        .ok_or_else(|| CoreError::CorruptSnapshot("section size overflows".into()))?;
+    if r.remaining() < need {
+        return Err(CoreError::CorruptSnapshot(format!(
+            "counter section needs {need} bytes, {} remain",
+            r.remaining()
+        )));
+    }
+    let mut counters = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        counters.push(r.i64()?);
+    }
+    let mut row_saturated = vec![0usize; rows];
+    for w in 0..words {
+        let mut word = r.u64()?;
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            let cell = w * 64 + bit;
+            if cell < cells {
+                row_saturated[cell / buckets] += 1;
+            }
+            word &= word - 1;
+        }
+    }
+    let mut ranked: Vec<(usize, usize, i64)> = counters
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0)
+        .map(|(i, &v)| (i / buckets, i % buckets, v))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.2.unsigned_abs()
+            .cmp(&a.2.unsigned_abs())
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    ranked.truncate(top);
+    let (policy, tracker_capacity, tracked) = match kind {
+        SnapshotKind::Sketch => (None, None, Vec::new()),
+        SnapshotKind::Processor => {
+            let policy = policy_from(r.u32()?)?;
+            let capacity = r.u64()? as usize;
+            let entries = r.u64()? as usize;
+            if entries > capacity {
+                return Err(CoreError::CorruptSnapshot(format!(
+                    "{entries} tracker entries exceed capacity {capacity}"
+                )));
+            }
+            if r.remaining() < entries.saturating_mul(16) {
+                return Err(CoreError::CorruptSnapshot(format!(
+                    "tracker section needs {} bytes, {} remain",
+                    entries.saturating_mul(16),
+                    r.remaining()
+                )));
+            }
+            let mut tracked = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let key = ItemKey(r.u64()?);
+                let value = r.i64()?;
+                tracked.push((key, value));
+            }
+            tracked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            (Some(policy), Some(capacity), tracked)
+        }
+    };
+    r.finish()?;
+    Ok(SnapshotInfo {
+        kind,
+        combiner,
+        rows,
+        buckets,
+        seed,
+        total_bytes: bytes.len(),
+        row_saturated,
+        top_counters: ranked,
+        policy,
+        tracker_capacity,
+        tracked,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +675,66 @@ mod tests {
             CountSketch::from_snapshot_bytes(&bytes),
             Err(CoreError::CorruptSnapshot(_))
         ));
+    }
+
+    #[test]
+    fn inspect_reports_sketch_header_and_top_counters() {
+        let zipf = Zipf::new(100, 1.2);
+        let s = sketched(&zipf.stream(5_000, 3, ZipfStreamKind::Sampled));
+        let bytes = s.to_snapshot_bytes();
+        let info = inspect_snapshot_bytes(&bytes, 5).unwrap();
+        assert_eq!(info.kind, SnapshotKind::Sketch);
+        assert_eq!(info.combiner, s.combiner());
+        assert_eq!((info.rows, info.buckets), (s.rows(), s.buckets()));
+        assert_eq!(info.seed, s.seed());
+        assert_eq!(info.total_bytes, bytes.len());
+        assert_eq!(info.row_saturated.len(), s.rows());
+        assert!(info.policy.is_none() && info.tracked.is_empty());
+        assert_eq!(info.top_counters.len(), 5);
+        // Magnitude-descending, and each entry matches the live sketch.
+        for pair in info.top_counters.windows(2) {
+            assert!(pair[0].2.unsigned_abs() >= pair[1].2.unsigned_abs());
+        }
+        for &(row, bucket, value) in &info.top_counters {
+            assert_eq!(s.counters()[row * s.buckets() + bucket], value);
+        }
+    }
+
+    #[test]
+    fn inspect_reports_processor_tracker() {
+        let zipf = Zipf::new(50, 1.3);
+        let mut p = ApproxTopProcessor::new(PARAMS, 6, 17);
+        p.observe_stream(&zipf.stream(3_000, 5, ZipfStreamKind::Sampled));
+        let info = inspect_snapshot_bytes(&p.to_snapshot_bytes(), 3).unwrap();
+        assert_eq!(info.kind, SnapshotKind::Processor);
+        assert_eq!(info.policy, Some(p.policy()));
+        assert_eq!(info.tracker_capacity, Some(6));
+        // The tracked entries (estimate-descending) are exactly the
+        // processor's report.
+        assert_eq!(info.tracked, p.result().items);
+    }
+
+    #[test]
+    #[cfg(feature = "saturation-tracking")]
+    fn inspect_counts_saturated_cells_per_row() {
+        let mut s = CountSketch::new(SketchParams::new(1, 1), 0);
+        s.update(ItemKey(1), i64::MAX);
+        s.update(ItemKey(1), i64::MAX);
+        let info = inspect_snapshot_bytes(&s.to_snapshot_bytes(), 1).unwrap();
+        assert_eq!(info.row_saturated, vec![1]);
+        assert_eq!(info.saturated_cells(), 1);
+    }
+
+    #[test]
+    fn inspect_rejects_corruption_like_the_loaders() {
+        let s = sketched(&Stream::from_ids(0..50));
+        let mut bytes = s.to_snapshot_bytes();
+        bytes[HEADER + 3] ^= 0x40;
+        assert!(matches!(
+            inspect_snapshot_bytes(&bytes, 10),
+            Err(CoreError::ChecksumMismatch { .. })
+        ));
+        assert!(inspect_snapshot_bytes(b"junk", 10).is_err());
     }
 
     #[test]

@@ -58,7 +58,18 @@ impl PairwiseHash {
     /// final range reduction.
     #[inline]
     pub fn field_eval(&self, key: u64) -> u64 {
-        prime::add(prime::mul(self.a, prime::fold(key)), self.b)
+        self.field_eval_canon(prime::fold(key))
+    }
+
+    /// [`Self::field_eval`] for a key already in canonical form
+    /// (`key < P`, i.e. a [`prime::fold`] output). Batch read kernels
+    /// fold each key once and evaluate all `2t` row functions on the
+    /// canonical value; `fold` is idempotent, so the results are
+    /// bit-identical to the folding entry points.
+    #[inline]
+    pub(crate) fn field_eval_canon(&self, key: u64) -> u64 {
+        debug_assert!(key < prime::P);
+        prime::add(prime::mul(self.a, key), self.b)
     }
 }
 
@@ -76,6 +87,16 @@ impl BucketHasher for PairwiseHash {
         for (o, &k) in out[..keys.len()].iter_mut().zip(keys) {
             *o = self.range.rem(self.field_eval(k)) as usize;
         }
+    }
+
+    #[inline]
+    fn canon(&self, key: u64) -> u64 {
+        prime::fold(key)
+    }
+
+    #[inline]
+    fn bucket_canon(&self, key: u64) -> usize {
+        self.range.rem(self.field_eval_canon(key)) as usize
     }
 
     fn num_buckets(&self) -> usize {

@@ -52,8 +52,10 @@ pub fn mul(a: u64, b: u64) -> u64 {
     debug_assert!(a < P && b < P);
     let z = u128::from(a) * u128::from(b);
     let lo = (z as u64) & P;
-    let hi = (z >> 61) as u64; // < 2^61 since a,b < 2^61
-    add(lo, fold(hi))
+    // hi needs no fold: z < P² gives hi = ⌊z/2^61⌋ ≤ ⌊P²/2^61⌋ < P, so
+    // it is already canonical and `add` reduces the sum exactly.
+    let hi = (z >> 61) as u64;
+    add(lo, hi)
 }
 
 /// Computes `base^exp mod P` by square-and-multiply.

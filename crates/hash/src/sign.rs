@@ -90,6 +90,16 @@ impl SignHasher for PairwiseSign {
         }
     }
 
+    #[inline]
+    fn canon(&self, key: u64) -> u64 {
+        crate::prime::fold(key)
+    }
+
+    #[inline]
+    fn sign_canon(&self, key: u64) -> i64 {
+        1 - 2 * ((self.inner.field_eval_canon(key) & 1) as i64)
+    }
+
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
     }

@@ -33,6 +33,29 @@ pub trait BucketHasher {
         }
     }
 
+    /// Canonicalizes a key for repeated hashing through this family.
+    ///
+    /// Contract: `bucket(key) == bucket_canon(canon(key))` for every
+    /// key, and `canon` is a function of the *family*, not the drawn
+    /// instance — every hasher of one concrete type maps a key to the
+    /// same canonical form. Batch read kernels rely on this to
+    /// canonicalize each key once and reuse it across all `t` rows,
+    /// instead of paying the reduction inside every row's evaluation.
+    /// The default is the identity.
+    #[inline]
+    fn canon(&self, key: u64) -> u64 {
+        key
+    }
+
+    /// Maps a key already canonicalized by [`BucketHasher::canon`] to a
+    /// bucket. Callers must only pass values produced by `canon`; the
+    /// default forwards to [`BucketHasher::bucket`], which is correct
+    /// because the identity canon leaves keys untouched.
+    #[inline]
+    fn bucket_canon(&self, key: u64) -> usize {
+        self.bucket(key)
+    }
+
     /// The size of the range this hasher maps into.
     fn num_buckets(&self) -> usize;
 
@@ -67,6 +90,20 @@ pub trait SignHasher {
         }
     }
 
+    /// Canonicalizes a key for repeated sign evaluation; the same
+    /// contract as [`BucketHasher::canon`], for this trait's
+    /// [`SignHasher::sign_canon`]. The default is the identity.
+    #[inline]
+    fn canon(&self, key: u64) -> u64 {
+        key
+    }
+
+    /// Evaluates a key already canonicalized by [`SignHasher::canon`].
+    #[inline]
+    fn sign_canon(&self, key: u64) -> i64 {
+        self.sign(key)
+    }
+
     /// Heap + inline memory used by this function's description, in bytes.
     fn space_bytes(&self) -> usize;
 }
@@ -77,6 +114,12 @@ impl<T: BucketHasher + ?Sized> BucketHasher for Box<T> {
     }
     fn bucket_block(&self, keys: &[u64], out: &mut [usize]) {
         (**self).bucket_block(keys, out)
+    }
+    fn canon(&self, key: u64) -> u64 {
+        (**self).canon(key)
+    }
+    fn bucket_canon(&self, key: u64) -> usize {
+        (**self).bucket_canon(key)
     }
     fn num_buckets(&self) -> usize {
         (**self).num_buckets()
@@ -92,6 +135,12 @@ impl<T: SignHasher + ?Sized> SignHasher for Box<T> {
     }
     fn sign_block(&self, keys: &[u64], out: &mut [i64]) {
         (**self).sign_block(keys, out)
+    }
+    fn canon(&self, key: u64) -> u64 {
+        (**self).canon(key)
+    }
+    fn sign_canon(&self, key: u64) -> i64 {
+        (**self).sign_canon(key)
     }
     fn space_bytes(&self) -> usize {
         (**self).space_bytes()

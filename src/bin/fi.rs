@@ -7,7 +7,9 @@
 //! cat stream | fi top                # reads stdin when no file given
 //! fi top --snapshot s.csnp log.1     # persist state, then later
 //! fi top --resume s.csnp log.2       # continue counting across runs
+//! fi top --snapshot s.csnp --snapshot-every 10000 log  # checkpoint as you go
 //! fi top --threads 4 access.log      # sharded multi-core ingestion
+//! fi inspect s.csnp                  # what's inside a snapshot?
 //! ```
 //!
 //! Exit codes: 0 success, 2 bad invocation, 3 I/O failure, 4 corrupt
@@ -22,9 +24,9 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: fi <top|diff|iceberg> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] \
+                "usage: fi <top|diff|iceberg|inspect> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] \
                  [--phi P] [--eps E] [--algorithm A] [--threads N] [--snapshot PATH] \
-                 [--resume PATH] [FILE...]"
+                 [--snapshot-every N] [--resume PATH] [FILE...]"
             );
             std::process::exit(cli::EXIT_USAGE);
         }

@@ -5,19 +5,23 @@
 //!
 //! ```text
 //! fi top [-k N] [-t ROWS] [-b BUCKETS] [--seed S] [--threads N]
-//!        [--snapshot PATH] [--resume PATH] [FILE]
+//!        [--snapshot PATH] [--snapshot-every N] [--resume PATH] [FILE]
 //!     one-pass APPROXTOP over whitespace-separated items
 //! fi diff [-k N] [-t ROWS] [-b BUCKETS] [--seed S] FILE1 FILE2
 //!     §4.2 max-change between two item files
 //! fi iceberg --phi P [--eps E] [-t ROWS] [-b BUCKETS] [FILE]
 //!     items above a frequency threshold
+//! fi inspect [-k N] SNAPSHOT
+//!     summarize a CSNP snapshot: header, geometry, health, top counters
 //! ```
 //!
 //! `--resume` restores APPROXTOP state from a checksummed snapshot
 //! written by an earlier `--snapshot` run, so a long-lived counting job
-//! survives restarts without rereading history. Failures map to
-//! distinct exit codes (see [`CliError`]): bad invocation, I/O failure,
-//! and corrupt input are distinguishable to calling scripts.
+//! survives restarts without rereading history; `--snapshot-every N`
+//! additionally persists the state after every N observed items, so a
+//! crash loses at most N items of progress. Failures map to distinct
+//! exit codes (see [`CliError`]): bad invocation, I/O failure, and
+//! corrupt input are distinguishable to calling scripts.
 
 use crate::prelude::*;
 use crate::sketch::iceberg::IcebergProcessor;
@@ -82,7 +86,7 @@ impl std::error::Error for CliError {}
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Subcommand: `top`, `diff` or `iceberg`.
+    /// Subcommand: `top`, `diff`, `iceberg` or `inspect`.
     pub command: String,
     /// Top-k size.
     pub k: usize,
@@ -101,6 +105,9 @@ pub struct Options {
     pub algorithm: String,
     /// Write a state snapshot here after processing (`top` only).
     pub snapshot: Option<String>,
+    /// Also write the snapshot after every N observed items (0 = only
+    /// at the end; requires `--snapshot`).
+    pub snapshot_every: usize,
     /// Restore state from this snapshot before processing (`top` only).
     pub resume: Option<String>,
     /// Ingestion worker threads (`top` with count-sketch only; 1 =
@@ -122,6 +129,7 @@ impl Default for Options {
             eps: 0.002,
             algorithm: "count-sketch".into(),
             snapshot: None,
+            snapshot_every: 0,
             resume: None,
             threads: 1,
             files: Vec::new(),
@@ -135,9 +143,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it
         .next()
-        .ok_or_else(|| "missing subcommand (top | diff | iceberg)".to_string())?
+        .ok_or_else(|| "missing subcommand (top | diff | iceberg | inspect)".to_string())?
         .clone();
-    if !matches!(opts.command.as_str(), "top" | "diff" | "iceberg") {
+    if !matches!(
+        opts.command.as_str(),
+        "top" | "diff" | "iceberg" | "inspect"
+    ) {
         return Err(format!("unknown subcommand '{}'", opts.command));
     }
     while let Some(arg) = it.next() {
@@ -173,6 +184,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--snapshot" => opts.snapshot = Some(flag_value("--snapshot")?.clone()),
+            "--snapshot-every" => {
+                opts.snapshot_every = flag_value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?
+            }
             "--resume" => opts.resume = Some(flag_value("--resume")?.clone()),
             "--threads" => {
                 opts.threads = flag_value("--threads")?
@@ -191,14 +207,28 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     {
         return Err("--snapshot/--resume require 'top' with the count-sketch algorithm".into());
     }
+    if args.iter().any(|a| a == "--snapshot-every") {
+        if opts.snapshot_every == 0 {
+            return Err("--snapshot-every must be positive".into());
+        }
+        if opts.snapshot.is_none() {
+            return Err("--snapshot-every needs --snapshot PATH for the periodic writes".into());
+        }
+    }
     if opts.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
     if opts.threads > 1 && (opts.command != "top" || opts.algorithm != "count-sketch") {
         return Err("--threads > 1 requires 'top' with the count-sketch algorithm".into());
     }
+    if opts.snapshot_every > 0 && opts.threads > 1 {
+        // The sharded pool ingests the whole stream in one shot; there is
+        // no mid-stream point at which a consistent snapshot exists.
+        return Err("--snapshot-every requires --threads 1".into());
+    }
     match opts.command.as_str() {
         "diff" if opts.files.len() != 2 => Err("diff needs exactly two files".into()),
+        "inspect" if opts.files.len() != 1 => Err("inspect needs exactly one snapshot file".into()),
         "top" | "iceberg" if opts.files.len() > 1 => {
             Err("at most one input file (or stdin)".into())
         }
@@ -268,6 +298,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             let text = read_input(opts.files.first())?;
             Ok(run_iceberg(opts, &text))
         }
+        "inspect" => run_inspect(opts),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -309,7 +340,27 @@ pub fn run_top(opts: &Options, text: &str) -> Result<String, CliError> {
                         opts.seed,
                     )
                 });
-                p.observe_stream(&stream);
+                match (&opts.snapshot, opts.snapshot_every) {
+                    (Some(path), every) if every > 0 => {
+                        // Periodic persistence: after every full window of
+                        // `every` items the state hits disk through the same
+                        // atomic tmp-then-rename path as the final write, so
+                        // a crash loses at most `every` items of progress.
+                        // The tail shorter than a window is covered by the
+                        // unconditional final write below.
+                        for chunk in stream.as_slice().chunks(every) {
+                            p.observe_batch(chunk);
+                            if chunk.len() == every {
+                                write_snapshot_file(Path::new(path), &p.to_snapshot_bytes())
+                                    .map_err(|e| CliError::Io {
+                                        path: path.clone(),
+                                        message: e.to_string(),
+                                    })?;
+                            }
+                        }
+                    }
+                    _ => p.observe_stream(&stream),
+                }
                 p
             };
             if let Some(path) = &opts.snapshot {
@@ -392,15 +443,82 @@ fn run_top_parallel(
     }
     candidates.sort_unstable();
     candidates.dedup();
+    // One batched kernel pass over the candidate set instead of a scalar
+    // probe per key; the kernel is bit-identical to the scalar estimate,
+    // so the resolved tracker (and report) are unchanged.
+    let estimates = merged.estimate_batch(&candidates);
     let mut tracker = TopKTracker::new(opts.k);
-    for &key in &candidates {
-        tracker.offer(key, merged.estimate(key));
+    for (&key, &est) in candidates.iter().zip(&estimates) {
+        tracker.offer(key, est);
     }
     Ok(ApproxTopProcessor::from_parts(
         merged,
         tracker,
         HeapPolicy::default(),
     ))
+}
+
+/// Runs `fi inspect` over a snapshot file; returns a human-readable
+/// summary of the header, sketch geometry, per-row health, the top
+/// `opts.k` counters by magnitude and (for processor snapshots) the
+/// tracked entries. A missing file is [`CliError::Io`]; a torn or
+/// bit-flipped one is [`CliError::Corrupt`].
+pub fn run_inspect(opts: &Options) -> Result<String, CliError> {
+    let path = &opts.files[0];
+    let bytes = read_snapshot_file(Path::new(path)).map_err(|e| CliError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    let info = inspect_snapshot_bytes(&bytes, opts.k).map_err(|e| CliError::Corrupt {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    let combiner = match info.combiner {
+        Combiner::Median => "median",
+        Combiner::Mean => "mean",
+        Combiner::TrimmedMean => "trimmed-mean",
+    };
+    let mut out = format!(
+        "# {path}: CSNP v1 {} snapshot ({} bytes)\n",
+        info.kind, info.total_bytes
+    );
+    out.push_str(&format!(
+        "sketch:     {} rows x {} buckets, seed {}, combiner {}\n",
+        info.rows, info.buckets, info.seed, combiner
+    ));
+    let health: String = info
+        .row_saturated
+        .iter()
+        .map(|&n| if n == 0 { '1' } else { '0' })
+        .collect();
+    let clean = info.row_saturated.iter().filter(|&&n| n == 0).count();
+    out.push_str(&format!(
+        "health:     [{}] {}/{} rows clean, {} saturated cells\n",
+        health,
+        clean,
+        info.rows,
+        info.saturated_cells()
+    ));
+    if let (Some(policy), Some(capacity)) = (info.policy, info.tracker_capacity) {
+        let policy = match policy {
+            HeapPolicy::IncrementTracked => "increment-tracked",
+            HeapPolicy::AlwaysReEstimate => "always-re-estimate",
+        };
+        out.push_str(&format!(
+            "tracker:    {} of {} entries, policy {}\n",
+            info.tracked.len(),
+            capacity,
+            policy
+        ));
+        for (key, value) in &info.tracked {
+            out.push_str(&format!("{value:>12}  key {:#018x}\n", key.raw()));
+        }
+    }
+    out.push_str(&format!("# top {} counters by |value|\n", opts.k));
+    for &(row, bucket, value) in &info.top_counters {
+        out.push_str(&format!("{value:>+12}  row {row}  bucket {bucket}\n"));
+    }
+    Ok(out)
 }
 
 /// Runs `fi diff` over two input texts; returns the report.
@@ -642,6 +760,100 @@ mod tests {
                 first.contains("100") && first.contains('x'),
                 "threads = {threads}: {report}"
             );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_snapshot_every_flag() {
+        let o = parse_args(&args("top --snapshot s.csnp --snapshot-every 500")).unwrap();
+        assert_eq!(o.snapshot_every, 500);
+        assert_eq!(parse_args(&args("top")).unwrap().snapshot_every, 0);
+        assert!(parse_args(&args("top --snapshot s.csnp --snapshot-every 0")).is_err());
+        assert!(parse_args(&args("top --snapshot-every 500")).is_err());
+        assert!(parse_args(&args("top --snapshot s --snapshot-every 5 --threads 2")).is_err());
+        assert!(parse_args(&args("diff --snapshot-every 5 a b")).is_err());
+    }
+
+    #[test]
+    fn parse_inspect_subcommand() {
+        let o = parse_args(&args("inspect -k 5 state.csnp")).unwrap();
+        assert_eq!(o.command, "inspect");
+        assert_eq!(o.k, 5);
+        assert_eq!(o.files, vec!["state.csnp"]);
+        assert!(parse_args(&args("inspect")).is_err());
+        assert!(parse_args(&args("inspect a.csnp b.csnp")).is_err());
+    }
+
+    #[test]
+    fn snapshot_every_checkpoints_match_one_shot() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-every-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("every.csnp").to_string_lossy().into_owned();
+        let text = "x ".repeat(70) + &"y ".repeat(25) + &"z ".repeat(8);
+
+        let opts = Options {
+            command: "top".into(),
+            k: 2,
+            snapshot: Some(snap.clone()),
+            snapshot_every: 13, // deliberately not a divisor of the length
+            ..Default::default()
+        };
+        let report = run_top(&opts, &text).unwrap();
+        let oneshot_opts = Options {
+            command: "top".into(),
+            k: 2,
+            snapshot: Some(dir.join("once.csnp").to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let oneshot = run_top(&oneshot_opts, &text).unwrap();
+        // Chunked observation is bit-identical to one-shot: same report,
+        // and the final checkpoint equals the end-of-run snapshot.
+        assert_eq!(report, oneshot);
+        assert_eq!(
+            std::fs::read(&snap).unwrap(),
+            std::fs::read(dir.join("once.csnp")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_summarizes_a_snapshot() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-inspect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("state.csnp").to_string_lossy().into_owned();
+        let opts = Options {
+            command: "top".into(),
+            k: 3,
+            snapshot: Some(snap.clone()),
+            ..Default::default()
+        };
+        run_top(&opts, &("hot ".repeat(90) + &"cold ".repeat(4))).unwrap();
+
+        let inspect = parse_args(&args(&format!("inspect -k 4 {snap}"))).unwrap();
+        let report = run(&inspect).unwrap();
+        assert!(report.contains("processor snapshot"), "{report}");
+        assert!(report.contains("5 rows x 4096 buckets"), "{report}");
+        assert!(report.contains("combiner median"), "{report}");
+        assert!(report.contains("5/5 rows clean"), "{report}");
+        assert!(report.contains("policy increment-tracked"), "{report}");
+        // The dominant token's count shows up among the tracked entries.
+        assert!(report.contains("90"), "{report}");
+
+        // Corruption is the typed Corrupt error, not a panic.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+        match run(&inspect) {
+            Err(e @ CliError::Corrupt { .. }) => assert_eq!(e.exit_code(), EXIT_CORRUPT),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        // A missing snapshot is an I/O error.
+        let gone = parse_args(&args("inspect /nonexistent/fi-inspect.csnp")).unwrap();
+        match run(&gone) {
+            Err(e @ CliError::Io { .. }) => assert_eq!(e.exit_code(), EXIT_IO),
+            other => panic!("expected Io error, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -81,9 +81,16 @@ pub mod prelude {
         parallel_approx_top, sketch_stream_pooled, AtomicCountSketch, ParallelApproxTop,
         SketchPool,
     };
-    pub use cs_core::sketch::{CheckedEstimate, SketchHealth};
+    pub use cs_core::median::Combiner;
+    pub use cs_core::query::QueryEngine;
+    pub use cs_core::sketch::{
+        CheckedEstimate, EstimateBatchScratch, EstimateScratch, SketchHealth,
+    };
     pub use cs_core::topk::TopKTracker;
-    pub use cs_core::snapshot::{read_snapshot_file, write_snapshot_file};
+    pub use cs_core::snapshot::{
+        inspect_snapshot_bytes, read_snapshot_file, write_snapshot_file, SnapshotInfo,
+        SnapshotKind,
+    };
     pub use cs_core::{CoreError, CountSketch, FastCountSketch, SketchParams};
     pub use cs_hash::ItemKey;
     pub use cs_stream::{ExactCounter, Fault, FaultInjector, Stream, Zipf, ZipfStreamKind};
