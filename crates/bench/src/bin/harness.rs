@@ -18,6 +18,7 @@
 //!   throughput        update/query throughput of every algorithm
 //!   parallel          multi-core ingestion scaling sweep (pool/atomic/striped)
 //!   query             read-path ESTIMATE throughput (scalar/batch/cached × depth)
+//!   fault-matrix      recovery + merged accuracy vs failed sites over loopback TCP
 //!   report            re-render stored --records JSONL as tables
 //!   check-throughput  compare a BENCH_throughput.json against a baseline
 //!   check-parallel    gate a BENCH_parallel.json: regression + 4-thread speedup
@@ -30,7 +31,10 @@
 //! point. The throughput, parallel and query experiments additionally
 //! write a machine-readable `BENCH_throughput.json` /
 //! `BENCH_parallel.json` / `BENCH_query.json` (default: current
-//! directory; override with `--bench-json <path>`).
+//! directory; override with `--bench-json <path>`). Under `--small` the
+//! defaults become `BENCH_*.small.json`: the committed full-scale
+//! artifacts are only ever written by a full-scale run, so a CI smoke
+//! sweep (`harness all --small`) cannot clobber them.
 //!
 //! `check-throughput` is the CI regression gate:
 //!
@@ -74,15 +78,15 @@
 //! process, so unlike parallel speedup it is meaningful on any host.
 
 use cs_bench::experiments::{
-    ablation, approxtop, crossover, error_curves, hierarchical, list_size, maxchange, parallel,
-    payload, query, table1, throughput, ExperimentOutput,
+    ablation, approxtop, crossover, error_curves, fault_matrix, hierarchical, list_size, maxchange,
+    parallel, payload, query, table1, throughput, ExperimentOutput,
 };
-use cs_bench::Scale;
+use cs_bench::{artifact_path, Scale};
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|parallel|query|report|check-throughput|check-parallel|check-query|all> [--small] [--records <path>] [--bench-json <path>]"
+        "usage: harness <table1|table1-theory|error-vs-b|error-vs-t|approxtop|maxchange|space-vs-payload|crossover|ablation|list-size|hierarchical|throughput|parallel|query|fault-matrix|report|check-throughput|check-parallel|check-query|all> [--small] [--records <path>] [--bench-json <path>]"
     );
     std::process::exit(2);
 }
@@ -342,14 +346,16 @@ fn run_experiment(name: &str, scale: &Scale) -> Option<ExperimentOutput> {
         "throughput" => Some(throughput::run(scale)),
         "parallel" => Some(parallel::run(scale)),
         "query" => Some(query::run(scale)),
+        "fault-matrix" => Some(fault_matrix::run(scale)),
         _ => None,
     }
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "throughput",
     "parallel",
     "query",
+    "fault-matrix",
     "hierarchical",
     "list-size",
     "table1",
@@ -434,16 +440,22 @@ fn main() {
                 writeln!(f, "{}", r.to_json_line()).expect("write records");
             }
         }
+        // Defaults go through `artifact_path` so `--small` runs write
+        // `BENCH_*.small.json` and can never overwrite the committed
+        // full-scale artifacts (the `harness all --small` clobber bug).
         let bench_json_payload = match name {
             "throughput" => Some((
-                "BENCH_throughput.json",
+                artifact_path("BENCH_throughput", "json", small),
                 throughput::bench_json(&out, &scale, &git_rev()),
             )),
             "parallel" => Some((
-                "BENCH_parallel.json",
+                artifact_path("BENCH_parallel", "json", small),
                 parallel::bench_json(&out, &scale, &git_rev(), parallel::host_cores()),
             )),
-            "query" => Some(("BENCH_query.json", query::bench_json(&out, &scale, &git_rev()))),
+            "query" => Some((
+                artifact_path("BENCH_query", "json", small),
+                query::bench_json(&out, &scale, &git_rev()),
+            )),
             _ => None,
         };
         if let Some((default_path, json)) = bench_json_payload {
@@ -452,7 +464,7 @@ fn main() {
                 .position(|a| a == "--bench-json")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| default_path.into());
+                .unwrap_or(default_path);
             std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("[harness] wrote {path}");
         }

@@ -44,6 +44,21 @@ impl Scale {
     }
 }
 
+/// Default filename for a harness artifact at a given scale.
+///
+/// Full-scale runs own the committed `{stem}.{ext}` artifacts
+/// (`BENCH_throughput.json`, `results/fault_matrix.txt`, …); `--small`
+/// runs get `{stem}.small.{ext}` so a CI smoke sweep can never clobber
+/// the committed full-scale numbers. `--bench-json` still overrides
+/// either default explicitly.
+pub fn artifact_path(stem: &str, ext: &str, small: bool) -> String {
+    if small {
+        format!("{stem}.small.{ext}")
+    } else {
+        format!("{stem}.{ext}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +76,23 @@ mod tests {
     #[test]
     fn with_n_overrides() {
         assert_eq!(Scale::small().with_n(42).n, 42);
+    }
+
+    /// Regression check for the `harness all --small` clobber bug: a
+    /// small-scale run must never resolve to a committed full-scale
+    /// artifact path.
+    #[test]
+    fn small_artifacts_never_collide_with_committed_ones() {
+        for stem in ["BENCH_throughput", "BENCH_parallel", "BENCH_query"] {
+            let full = artifact_path(stem, "json", false);
+            let small = artifact_path(stem, "json", true);
+            assert_eq!(full, format!("{stem}.json"));
+            assert_eq!(small, format!("{stem}.small.json"));
+            assert_ne!(full, small);
+        }
+        assert_eq!(
+            artifact_path("results/fault_matrix", "txt", true),
+            "results/fault_matrix.small.txt"
+        );
     }
 }

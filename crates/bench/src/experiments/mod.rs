@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod approxtop;
 pub mod crossover;
 pub mod error_curves;
+pub mod fault_matrix;
 pub mod hierarchical;
 pub mod list_size;
 pub mod maxchange;

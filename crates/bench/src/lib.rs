@@ -13,5 +13,5 @@
 pub mod config;
 pub mod experiments;
 
-pub use config::Scale;
+pub use config::{artifact_path, Scale};
 pub use experiments::ExperimentOutput;

@@ -329,6 +329,40 @@ impl QuorumCoordinator {
         self.tick
     }
 
+    /// The `(rows, buckets)` every delivered report must match.
+    pub fn expected_params(&self) -> SketchParams {
+        SketchParams {
+            rows: self.reference.rows(),
+            buckets: self.reference.buckets(),
+        }
+    }
+
+    /// The hash seed every delivered report must match.
+    pub fn expected_seed(&self) -> u64 {
+        self.reference.seed()
+    }
+
+    /// Sites the coordinator expects to hear from.
+    pub fn num_sites(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Minimum validated reports required by [`finalize`].
+    ///
+    /// [`finalize`]: QuorumCoordinator::finalize
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Sites whose reports have been validated and accepted so far.
+    pub fn accepted_sites(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, SlotState::Accepted(_)).then_some(i))
+            .collect()
+    }
+
     /// Advances logical time by one tick.
     pub fn advance_tick(&mut self) {
         self.tick += 1;
@@ -730,6 +764,18 @@ mod tests {
         let outcome = coord.finalize().unwrap();
         assert_eq!(outcome.report.included, vec![0, 1]);
         assert_eq!(outcome.sketch.total_n(), 8_000);
+    }
+
+    #[test]
+    fn quorum_exposes_its_configuration() {
+        let (reports, mut coord) = quorum_setup(3, 2);
+        assert_eq!(coord.expected_params(), PARAMS);
+        assert_eq!(coord.expected_seed(), 99);
+        assert_eq!(coord.num_sites(), 3);
+        assert_eq!(coord.quorum(), 2);
+        assert!(coord.accepted_sites().is_empty());
+        coord.deliver_report(1, reports[1].clone()).unwrap();
+        assert_eq!(coord.accepted_sites(), vec![1]);
     }
 
     #[test]

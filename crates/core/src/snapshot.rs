@@ -13,20 +13,34 @@
 //! ```text
 //! magic      u32  = 0x4353_4E50 ("CSNP")
 //! version    u32  = 1
-//! kind       u32  = 1 (sketch) | 2 (approx-top processor)
+//! kind       u32  = 1 (sketch) | 2 (approx-top processor) | 3 (sliding window)
 //! combiner   u32  = 0 median | 1 mean | 2 trimmed mean
 //! rows       u64
 //! buckets    u64            -- post-rounding, a fixed point of redrawing
 //! seed       u64
-//! counters   rows·buckets × i64
+//! counters   rows·buckets × i64       -- kind 3: the window sum sketch
 //! saturation ⌈rows·buckets/64⌉ × u64   -- overflow flags, 1 bit per cell
 //! [kind 2 only]
 //!   policy   u32  = 0 increment-tracked | 1 always-re-estimate
 //!   capacity u64
 //!   entries  u64
 //!   entry    entries × (key u64, value i64)
+//! [kind 3 only]
+//!   epoch_len      u64
+//!   window_epochs  u64
+//!   capacity       u64
+//!   filled         u64   -- occurrences in the partial epoch (< epoch_len)
+//!   completed      u64   -- completed epochs in the window (< window_epochs)
+//!   epoch sketch   completed × (counters + saturation)   -- oldest first
+//!   current sketch counters + saturation
+//!   entries        u64
+//!   entry          entries × (key u64, value i64)
 //! crc32      u32  -- CRC-32 (IEEE) over every preceding byte
 //! ```
+//!
+//! The kind-3 window sum is *stored*, not recomputed from the epochs on
+//! load: with saturation tracking the sum sketch's overflow flags are
+//! path-dependent, and storing it keeps resume bit-identical.
 //!
 //! Hash functions are *not* serialized: they are reconstructed
 //! deterministically from `(rows, buckets, seed)`, which both shrinks the
@@ -52,10 +66,12 @@ use crate::approx_top::{ApproxTopProcessor, HeapPolicy};
 use crate::error::CoreError;
 use crate::median::Combiner;
 use crate::params::SketchParams;
-use crate::sketch::{DrawBucketHasher, DrawSignHasher, GenericCountSketch};
+use crate::sketch::{CountSketch, DrawBucketHasher, DrawSignHasher, GenericCountSketch};
 use crate::topk::TopKTracker;
+use crate::window::{SlidingSketch, WindowParts};
 use cs_hash::crc32::crc32;
 use cs_hash::{BucketHasher, ItemKey, SignHasher};
+use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
 
@@ -63,6 +79,7 @@ const MAGIC: u32 = 0x4353_4E50; // "CSNP"
 const VERSION: u32 = 1;
 const KIND_SKETCH: u32 = 1;
 const KIND_PROCESSOR: u32 = 2;
+const KIND_WINDOW: u32 = 3;
 const HEADER: usize = 40;
 
 fn combiner_code(c: Combiner) -> u32 {
@@ -101,6 +118,19 @@ fn policy_from(code: u32) -> Result<HeapPolicy, CoreError> {
     }
 }
 
+/// Appends a sketch's counter and saturation sections (no header).
+fn push_counters<H: BucketHasher, S: SignHasher>(
+    buf: &mut Vec<u8>,
+    sketch: &GenericCountSketch<H, S>,
+) {
+    for &c in sketch.counters() {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for &w in sketch.saturated_words() {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
 fn push_sketch_body<H: BucketHasher, S: SignHasher>(
     buf: &mut Vec<u8>,
     kind: u32,
@@ -113,12 +143,7 @@ fn push_sketch_body<H: BucketHasher, S: SignHasher>(
     buf.extend_from_slice(&(sketch.rows() as u64).to_le_bytes());
     buf.extend_from_slice(&(sketch.buckets() as u64).to_le_bytes());
     buf.extend_from_slice(&sketch.seed().to_le_bytes());
-    for &c in sketch.counters() {
-        buf.extend_from_slice(&c.to_le_bytes());
-    }
-    for &w in sketch.saturated_words() {
-        buf.extend_from_slice(&w.to_le_bytes());
-    }
+    push_counters(buf, sketch);
 }
 
 fn seal(mut buf: Vec<u8>) -> Vec<u8> {
@@ -212,6 +237,14 @@ impl<'a> Reader<'a> {
         self.u64().map(|v| v as i64)
     }
 
+    fn skip(&mut self, n: usize) -> Result<(), CoreError> {
+        if self.remaining() < n {
+            return Err(CoreError::CorruptSnapshot("section truncated".into()));
+        }
+        self.pos += n;
+        Ok(())
+    }
+
     fn finish(self) -> Result<(), CoreError> {
         if self.remaining() != 0 {
             return Err(CoreError::CorruptSnapshot(format!(
@@ -265,6 +298,30 @@ where
     // watermark the batched ingestion fast path relies on.
     sketch.refresh_mass_floor();
     Ok(sketch)
+}
+
+/// Reads one headerless counter+saturation section into a fresh sketch
+/// of known geometry. The caller has already bounds-checked the section.
+fn read_counters(
+    r: &mut Reader<'_>,
+    params: SketchParams,
+    seed: u64,
+    combiner: Combiner,
+) -> Result<CountSketch, CoreError> {
+    let mut sketch = CountSketch::new(params, seed).with_combiner(combiner);
+    for c in sketch.counters_mut() {
+        *c = r.i64()?;
+    }
+    for w in sketch.saturated_words_mut() {
+        *w = r.u64()?;
+    }
+    sketch.refresh_mass_floor();
+    Ok(sketch)
+}
+
+/// Bytes one counter+saturation section occupies for `cells` cells.
+fn counter_section_bytes(cells: usize) -> usize {
+    cells * 8 + cells.div_ceil(64) * 8
 }
 
 impl<H: BucketHasher, S: SignHasher> GenericCountSketch<H, S> {
@@ -349,6 +406,121 @@ impl<H: DrawBucketHasher, S: DrawSignHasher> ApproxTopProcessor<H, S> {
     }
 }
 
+impl SlidingSketch {
+    /// Serializes the full window state — every epoch sketch, the window
+    /// sum, the partial-epoch fill level and the candidate tracker — to
+    /// the checksummed `CSNP` snapshot format (kind 3).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let window = self.window_sketch();
+        let per = counter_section_bytes(window.counters().len());
+        let items = self.tracker().items_desc();
+        let mut buf = Vec::with_capacity(
+            HEADER + per * (self.completed_sketches().len() + 2) + items.len() * 16 + 96,
+        );
+        push_sketch_body(&mut buf, KIND_WINDOW, window);
+        buf.extend_from_slice(&(self.epoch_len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.window_epochs() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.tracker_capacity() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.filled() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.completed_sketches().len() as u64).to_le_bytes());
+        for epoch in self.completed_sketches() {
+            push_counters(&mut buf, epoch);
+        }
+        push_counters(&mut buf, self.current_sketch());
+        buf.extend_from_slice(&(items.len() as u64).to_le_bytes());
+        for (key, value) in items {
+            buf.extend_from_slice(&key.raw().to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        seal(buf)
+    }
+
+    /// Restores a sliding window from snapshot bytes. Resuming
+    /// observation afterwards — including epoch rolls and expiry — is
+    /// bit-identical to never having stopped. Total: any malformed input
+    /// yields a typed [`CoreError`], never a panic.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (mut r, _) = Reader::open(bytes, KIND_WINDOW)?;
+        let window = read_sketch(&mut r)?;
+        let params = SketchParams {
+            rows: window.rows(),
+            buckets: window.buckets(),
+        };
+        let seed = window.seed();
+        let combiner = window.combiner();
+        let epoch_len = r.u64()? as usize;
+        let window_epochs = r.u64()? as usize;
+        let capacity = r.u64()? as usize;
+        let filled = r.u64()? as usize;
+        let completed_count = r.u64()? as usize;
+        if epoch_len == 0 || window_epochs == 0 || capacity == 0 {
+            return Err(CoreError::CorruptSnapshot(
+                "window geometry fields must be positive".into(),
+            ));
+        }
+        if filled >= epoch_len {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "partial epoch holds {filled} occurrences, epoch length is {epoch_len}"
+            )));
+        }
+        if completed_count >= window_epochs {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "{completed_count} completed epochs exceed a {window_epochs}-epoch window"
+            )));
+        }
+        // Bound every epoch section against the buffer before any
+        // allocation, so a forged count cannot trigger a huge one.
+        let per = counter_section_bytes(params.rows * params.buckets);
+        let need = completed_count
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(per))
+            .ok_or_else(|| CoreError::CorruptSnapshot("epoch section size overflows".into()))?;
+        if r.remaining() < need {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "epoch sections need {need} bytes, {} remain",
+                r.remaining()
+            )));
+        }
+        let mut completed = VecDeque::with_capacity(completed_count);
+        for _ in 0..completed_count {
+            completed.push_back(read_counters(&mut r, params, seed, combiner)?);
+        }
+        let current = read_counters(&mut r, params, seed, combiner)?;
+        let entries = r.u64()? as usize;
+        if entries > capacity {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "{entries} tracker entries exceed capacity {capacity}"
+            )));
+        }
+        if r.remaining() < entries * 16 {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "tracker section needs {} bytes, {} remain",
+                entries * 16,
+                r.remaining()
+            )));
+        }
+        let mut tracker = TopKTracker::new(capacity);
+        for _ in 0..entries {
+            let key = ItemKey(r.u64()?);
+            let value = r.i64()?;
+            tracker.offer(key, value);
+        }
+        r.finish()?;
+        Ok(Self::from_parts(WindowParts {
+            params,
+            seed,
+            epoch_len,
+            window_epochs,
+            completed,
+            current,
+            window,
+            filled,
+            tracker,
+            capacity,
+        }))
+    }
+}
+
 /// Writes snapshot bytes to `path` crash-safely: the bytes go to a
 /// sibling temporary file which is fsync'd and renamed into place, so a
 /// crash mid-write never leaves a torn file under the final name.
@@ -376,6 +548,8 @@ pub enum SnapshotKind {
     Sketch,
     /// An approx-top processor: sketch plus tracker (`kind = 2`).
     Processor,
+    /// A sliding-window sketch: epoch sketches plus tracker (`kind = 3`).
+    Window,
 }
 
 impl std::fmt::Display for SnapshotKind {
@@ -383,8 +557,22 @@ impl std::fmt::Display for SnapshotKind {
         match self {
             SnapshotKind::Sketch => write!(f, "sketch"),
             SnapshotKind::Processor => write!(f, "processor"),
+            SnapshotKind::Window => write!(f, "sliding window"),
         }
     }
+}
+
+/// Window geometry decoded from a kind-3 snapshot, for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowInfo {
+    /// Occurrences per epoch.
+    pub epoch_len: usize,
+    /// Window size in epochs.
+    pub window_epochs: usize,
+    /// Completed epochs captured in the snapshot.
+    pub completed_epochs: usize,
+    /// Occurrences in the partial epoch at snapshot time.
+    pub filled: usize,
 }
 
 /// A decoded-for-display summary of a snapshot, produced by
@@ -415,8 +603,10 @@ pub struct SnapshotInfo {
     /// Tracker capacity `k` (processor snapshots only).
     pub tracker_capacity: Option<usize>,
     /// Tracked `(key, estimate)` entries, estimate descending
-    /// (processor snapshots only).
+    /// (processor and window snapshots).
     pub tracked: Vec<(ItemKey, i64)>,
+    /// Window geometry (window snapshots only).
+    pub window: Option<WindowInfo>,
 }
 
 impl SnapshotInfo {
@@ -437,6 +627,7 @@ pub fn inspect_snapshot_bytes(bytes: &[u8], top: usize) -> Result<SnapshotInfo, 
     let kind = match kind_code {
         KIND_SKETCH => SnapshotKind::Sketch,
         KIND_PROCESSOR => SnapshotKind::Processor,
+        KIND_WINDOW => SnapshotKind::Window,
         other => {
             return Err(CoreError::CorruptSnapshot(format!(
                 "unknown snapshot kind {other}"
@@ -490,32 +681,72 @@ pub fn inspect_snapshot_bytes(bytes: &[u8], top: usize) -> Result<SnapshotInfo, 
             .then(a.1.cmp(&b.1))
     });
     ranked.truncate(top);
-    let (policy, tracker_capacity, tracked) = match kind {
-        SnapshotKind::Sketch => (None, None, Vec::new()),
+    fn read_tracked(
+        r: &mut Reader<'_>,
+        capacity: usize,
+    ) -> Result<Vec<(ItemKey, i64)>, CoreError> {
+        let entries = r.u64()? as usize;
+        if entries > capacity {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "{entries} tracker entries exceed capacity {capacity}"
+            )));
+        }
+        if r.remaining() < entries.saturating_mul(16) {
+            return Err(CoreError::CorruptSnapshot(format!(
+                "tracker section needs {} bytes, {} remain",
+                entries.saturating_mul(16),
+                r.remaining()
+            )));
+        }
+        let mut tracked = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let key = ItemKey(r.u64()?);
+            let value = r.i64()?;
+            tracked.push((key, value));
+        }
+        tracked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(tracked)
+    }
+    let (policy, tracker_capacity, tracked, window) = match kind {
+        SnapshotKind::Sketch => (None, None, Vec::new(), None),
         SnapshotKind::Processor => {
             let policy = policy_from(r.u32()?)?;
             let capacity = r.u64()? as usize;
-            let entries = r.u64()? as usize;
-            if entries > capacity {
+            let tracked = read_tracked(&mut r, capacity)?;
+            (Some(policy), Some(capacity), tracked, None)
+        }
+        SnapshotKind::Window => {
+            let epoch_len = r.u64()? as usize;
+            let window_epochs = r.u64()? as usize;
+            let capacity = r.u64()? as usize;
+            let filled = r.u64()? as usize;
+            let completed_epochs = r.u64()? as usize;
+            if window_epochs == 0 || completed_epochs >= window_epochs {
                 return Err(CoreError::CorruptSnapshot(format!(
-                    "{entries} tracker entries exceed capacity {capacity}"
+                    "{completed_epochs} completed epochs exceed a {window_epochs}-epoch window"
                 )));
             }
-            if r.remaining() < entries.saturating_mul(16) {
-                return Err(CoreError::CorruptSnapshot(format!(
-                    "tracker section needs {} bytes, {} remain",
-                    entries.saturating_mul(16),
-                    r.remaining()
-                )));
-            }
-            let mut tracked = Vec::with_capacity(entries);
-            for _ in 0..entries {
-                let key = ItemKey(r.u64()?);
-                let value = r.i64()?;
-                tracked.push((key, value));
-            }
-            tracked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            (Some(policy), Some(capacity), tracked)
+            // Skip the epoch + current-sketch counter sections; `need`
+            // is one section's size, computed above.
+            let epoch_bytes = completed_epochs
+                .checked_add(1)
+                .and_then(|n| n.checked_mul(need))
+                .ok_or_else(|| {
+                    CoreError::CorruptSnapshot("epoch section size overflows".into())
+                })?;
+            r.skip(epoch_bytes)?;
+            let tracked = read_tracked(&mut r, capacity)?;
+            (
+                None,
+                Some(capacity),
+                tracked,
+                Some(WindowInfo {
+                    epoch_len,
+                    window_epochs,
+                    completed_epochs,
+                    filled,
+                }),
+            )
         }
     };
     r.finish()?;
@@ -531,6 +762,7 @@ pub fn inspect_snapshot_bytes(bytes: &[u8], top: usize) -> Result<SnapshotInfo, 
         policy,
         tracker_capacity,
         tracked,
+        window,
     })
 }
 
@@ -750,8 +982,153 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    fn window_fixture() -> SlidingSketch {
+        SlidingSketch::new(SketchParams::new(3, 32), 13, 50, 3, 4)
+    }
+
+    #[test]
+    fn window_restart_mid_window_is_bit_identical() {
+        // 230 occurrences: 4 complete epochs (one already expired) plus a
+        // 30-deep partial epoch — snapshot right there, then keep feeding
+        // far enough that post-restore epoch rolls and expiry both fire.
+        let ids: Vec<u64> = (0..400u64).map(|i| i % 17).collect();
+        let split = 230;
+        let mut interrupted = window_fixture();
+        for &id in &ids[..split] {
+            interrupted.observe(ItemKey(id));
+        }
+        let bytes = interrupted.to_snapshot_bytes();
+        let mut resumed = SlidingSketch::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(resumed.completed_epochs(), interrupted.completed_epochs());
+        assert_eq!(
+            resumed.window_occurrences(),
+            interrupted.window_occurrences()
+        );
+        for &id in &ids[split..] {
+            resumed.observe(ItemKey(id));
+        }
+        let mut uninterrupted = window_fixture();
+        for &id in &ids {
+            uninterrupted.observe(ItemKey(id));
+        }
+        for id in 0..17u64 {
+            assert_eq!(
+                resumed.estimate(ItemKey(id)),
+                uninterrupted.estimate(ItemKey(id)),
+                "id {id}"
+            );
+        }
+        assert_eq!(resumed.top_k(), uninterrupted.top_k());
+        assert_eq!(resumed.completed_epochs(), uninterrupted.completed_epochs());
+        assert_eq!(
+            resumed.window_occurrences(),
+            uninterrupted.window_occurrences()
+        );
+    }
+
+    #[test]
+    fn window_single_bit_flips_are_detected() {
+        let mut w = window_fixture();
+        for i in 0..120u64 {
+            w.observe(ItemKey(i % 7));
+        }
+        let clean = w.to_snapshot_bytes();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    SlidingSketch::from_snapshot_bytes(&corrupt).is_err(),
+                    "flip at {byte}:{bit} loaded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_kind_is_not_interchangeable() {
+        let mut w = window_fixture();
+        w.observe(ItemKey(1));
+        let bytes = w.to_snapshot_bytes();
+        // A window snapshot is neither a sketch nor a processor...
+        assert!(CountSketch::from_snapshot_bytes(&bytes).is_err());
+        assert!(ApproxTopProcessor::<cs_hash::PairwiseHash, cs_hash::PairwiseSign>::from_snapshot_bytes(&bytes).is_err());
+        // ...and vice versa.
+        let s = sketched(&Stream::from_ids([1, 2, 3]));
+        assert!(SlidingSketch::from_snapshot_bytes(&s.to_snapshot_bytes()).is_err());
+    }
+
+    #[test]
+    fn window_inspect_reports_geometry_and_tracker() {
+        let mut w = window_fixture();
+        for i in 0..130u64 {
+            w.observe(ItemKey(i % 5));
+        }
+        let info = inspect_snapshot_bytes(&w.to_snapshot_bytes(), 3).unwrap();
+        assert_eq!(info.kind, SnapshotKind::Window);
+        assert_eq!(
+            info.window,
+            Some(WindowInfo {
+                epoch_len: 50,
+                window_epochs: 3,
+                completed_epochs: 2,
+                filled: 30,
+            })
+        );
+        assert_eq!(info.tracker_capacity, Some(4));
+        assert!(info.policy.is_none());
+        assert!(!info.tracked.is_empty());
+    }
+
+    #[test]
+    fn window_forged_geometry_is_rejected_before_allocation() {
+        let mut w = window_fixture();
+        w.observe(ItemKey(9));
+        let mut bytes = w.to_snapshot_bytes();
+        // The five u64 geometry fields start right after the 40-byte
+        // header + window counter (96 × i64) and saturation (2 × u64)
+        // sections.
+        let geo = HEADER + 96 * 8 + 16;
+        // Forge completed = 2^40 (and window_epochs above it so the
+        // structural check passes to the length check).
+        bytes[geo + 8..geo + 16].copy_from_slice(&(1u64 << 41).to_le_bytes());
+        bytes[geo + 32..geo + 40].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let n = bytes.len();
+        let crc = cs_hash::crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            SlidingSketch::from_snapshot_bytes(&bytes),
+            Err(CoreError::CorruptSnapshot(_))
+        ));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_window_resume_is_bit_identical(
+            ids in prop::collection::vec(0u64..40, 1..400),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((ids.len() as f64) * split_frac) as usize;
+            let mut interrupted = SlidingSketch::new(SketchParams::new(3, 32), 5, 30, 2, 3);
+            for &id in &ids[..split] {
+                interrupted.observe(ItemKey(id));
+            }
+            let mut resumed =
+                SlidingSketch::from_snapshot_bytes(&interrupted.to_snapshot_bytes()).unwrap();
+            for &id in &ids[split..] {
+                resumed.observe(ItemKey(id));
+            }
+            let mut uninterrupted = SlidingSketch::new(SketchParams::new(3, 32), 5, 30, 2, 3);
+            for &id in &ids {
+                uninterrupted.observe(ItemKey(id));
+            }
+            for id in 0..40u64 {
+                prop_assert_eq!(resumed.estimate(ItemKey(id)), uninterrupted.estimate(ItemKey(id)));
+            }
+            prop_assert_eq!(resumed.top_k(), uninterrupted.top_k());
+        }
 
         #[test]
         fn prop_resume_is_bit_identical(

@@ -169,6 +169,74 @@ impl SlidingSketch {
         let per_sketch = self.window.space_bytes();
         per_sketch * (self.completed.len() + 2) + self.tracker.space_bytes()
     }
+
+    // Snapshot plumbing: the CSNP codec in `crate::snapshot` serializes
+    // every field and reassembles via [`WindowParts`], so restore is
+    // bit-identical to an uninterrupted run (including saturation flags,
+    // which is why the window sum is stored rather than recomputed).
+
+    pub(crate) fn window_sketch(&self) -> &CountSketch {
+        &self.window
+    }
+
+    pub(crate) fn completed_sketches(&self) -> &VecDeque<CountSketch> {
+        &self.completed
+    }
+
+    pub(crate) fn current_sketch(&self) -> &CountSketch {
+        &self.current
+    }
+
+    pub(crate) fn tracker(&self) -> &TopKTracker {
+        &self.tracker
+    }
+
+    pub(crate) fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    pub(crate) fn window_epochs(&self) -> usize {
+        self.window_epochs
+    }
+
+    pub(crate) fn filled(&self) -> usize {
+        self.filled
+    }
+
+    pub(crate) fn tracker_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn from_parts(parts: WindowParts) -> Self {
+        Self {
+            params: parts.params,
+            seed: parts.seed,
+            epoch_len: parts.epoch_len,
+            window_epochs: parts.window_epochs,
+            completed: parts.completed,
+            current: parts.current,
+            window: parts.window,
+            filled: parts.filled,
+            tracker: parts.tracker,
+            capacity: parts.capacity,
+            scratch: EstimateScratch::new(),
+        }
+    }
+}
+
+/// Restored state for [`SlidingSketch::from_parts`]; every field is
+/// validated by the snapshot loader before assembly.
+pub(crate) struct WindowParts {
+    pub(crate) params: SketchParams,
+    pub(crate) seed: u64,
+    pub(crate) epoch_len: usize,
+    pub(crate) window_epochs: usize,
+    pub(crate) completed: VecDeque<CountSketch>,
+    pub(crate) current: CountSketch,
+    pub(crate) window: CountSketch,
+    pub(crate) filled: usize,
+    pub(crate) tracker: TopKTracker,
+    pub(crate) capacity: usize,
 }
 
 #[cfg(test)]

@@ -1,0 +1,155 @@
+//! A fault-injecting wrapper over any `Read + Write` connection.
+//!
+//! [`FaultyConn`] interprets a [`cs_stream::LinkFault`] policy against a
+//! live connection, so robustness tests exercise the *real* transport
+//! code path — the same `write_frame`/`read_frame` calls, the same
+//! retry loop — rather than corrupting byte buffers on the side. The
+//! corruption is deterministic (seeded [`FaultInjector`]), so a failing
+//! scenario reproduces from its seed.
+//!
+//! Faults apply to the *write* (uplink) side: that is where a site's
+//! report travels, and where the paper-level failure model (torn
+//! transfers, bit flips in transit, stragglers) bites. Reads pass
+//! through untouched.
+
+use cs_stream::{FaultInjector, LinkFault};
+use std::io::{self, Read, Write};
+
+/// A `Read + Write` connection that misbehaves per a [`LinkFault`]
+/// policy.
+#[derive(Debug)]
+pub struct FaultyConn<T> {
+    inner: T,
+    fault: LinkFault,
+    injector: FaultInjector,
+    written: u64,
+}
+
+impl<T> FaultyConn<T> {
+    /// Wraps `inner` with the given fault policy; `seed` drives the
+    /// deterministic corruption choices (which bit flips).
+    pub fn new(inner: T, fault: LinkFault, seed: u64) -> Self {
+        Self {
+            inner,
+            fault,
+            injector: FaultInjector::new(seed),
+            written: 0,
+        }
+    }
+
+    /// Bytes successfully written through the faulty link so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner connection.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Read> Read for FaultyConn<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<T: Write> Write for FaultyConn<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = match self.fault {
+            LinkFault::CutAfter { bytes } => {
+                if self.written >= bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        format!("link cut after {bytes} bytes"),
+                    ));
+                }
+                // Deliver only what fits under the cut, so the peer sees
+                // a torn frame — exactly what a killed sender leaves.
+                let allow = ((bytes - self.written) as usize).min(buf.len());
+                self.inner.write(&buf[..allow])?
+            }
+            LinkFault::FlipBits { from_byte } => {
+                if self.written >= from_byte && !buf.is_empty() {
+                    let mut corrupted = buf.to_vec();
+                    self.injector.flip_bits(&mut corrupted, 1);
+                    self.inner.write(&corrupted)?
+                } else {
+                    self.inner.write(buf)?
+                }
+            }
+            LinkFault::StallMs { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.write(buf)?
+            }
+        };
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame, read_frame, write_frame, Frame};
+
+    #[test]
+    fn cut_delivers_a_prefix_then_fails() {
+        let mut conn = FaultyConn::new(Vec::new(), LinkFault::CutAfter { bytes: 10 }, 1);
+        assert!(conn.write_all(&[0xAB; 8]).is_ok());
+        // The next write crosses the cut: 2 bytes land, then the link is
+        // dead for good.
+        assert!(conn.write_all(&[0xCD; 8]).is_err());
+        assert!(conn.write_all(&[0xEF; 1]).is_err());
+        assert_eq!(conn.written(), 10);
+        assert_eq!(conn.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn cut_frame_is_rejected_as_truncated_by_the_peer() {
+        let frame = Frame::Snapshot(vec![5; 100]);
+        let mut conn = FaultyConn::new(Vec::new(), LinkFault::CutAfter { bytes: 40 }, 1);
+        assert!(write_frame(&mut conn, &frame).is_err());
+        let wire = conn.into_inner();
+        assert_eq!(wire.len(), 40);
+        // The peer's stream reader sees mid-frame EOF, a typed error.
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn flipped_frame_fails_the_frame_crc() {
+        let frame = Frame::Snapshot(vec![7; 64]);
+        let clean = encode_frame(&frame);
+        let mut conn = FaultyConn::new(Vec::new(), LinkFault::FlipBits { from_byte: 0 }, 9);
+        write_frame(&mut conn, &frame).unwrap();
+        let wire = conn.into_inner();
+        assert_eq!(wire.len(), clean.len(), "flip corrupts, never resizes");
+        assert_ne!(wire, clean);
+        // Whichever byte the flip landed on (header field or payload),
+        // the decode fails with a typed error before any payload use.
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        assert!(decode_frame(&wire).is_err());
+    }
+
+    #[test]
+    fn flip_spares_bytes_before_the_offset() {
+        let mut conn = FaultyConn::new(Vec::new(), LinkFault::FlipBits { from_byte: 100 }, 3);
+        conn.write_all(&[0u8; 50]).unwrap();
+        assert_eq!(conn.into_inner(), vec![0u8; 50]);
+    }
+
+    #[test]
+    fn stall_delays_but_delivers_intact() {
+        let frame = Frame::Ack { accepted: true };
+        let mut conn = FaultyConn::new(Vec::new(), LinkFault::StallMs { millis: 1 }, 5);
+        let t0 = std::time::Instant::now();
+        write_frame(&mut conn, &frame).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(1));
+        let wire = conn.into_inner();
+        assert_eq!(read_frame(&mut wire.as_slice()).unwrap(), frame);
+    }
+}

@@ -38,6 +38,68 @@ pub enum Fault {
     Drop,
 }
 
+/// A fault policy for a byte-stream *connection* (as opposed to the
+/// one-shot payload faults of [`Fault`]): how an unreliable link
+/// misbehaves while a transport writes through it.
+///
+/// The policy itself is pure data — `cs-net`'s `FaultyConn` interprets
+/// it against a live `Read + Write` connection, and the CLI parses it
+/// from a `--fault` spec string so multi-process tests can stand up
+/// misbehaving links without code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The link dies after delivering this many bytes (a site killed
+    /// mid-ship, a torn connection). Spec: `cut:BYTES`.
+    CutAfter {
+        /// Bytes delivered before the link fails.
+        bytes: u64,
+    },
+    /// Every write landing at or past this stream offset has one bit
+    /// flipped (a corrupting middlebox or failing NIC). Spec:
+    /// `flip:FROM_BYTE`.
+    FlipBits {
+        /// Stream offset past which writes are corrupted.
+        from_byte: u64,
+    },
+    /// Every write is delayed by this many milliseconds (a congested or
+    /// straggling link). Spec: `stall:MILLIS`.
+    StallMs {
+        /// Delay per write.
+        millis: u64,
+    },
+}
+
+impl LinkFault {
+    /// Parses a `--fault` spec: `cut:BYTES`, `flip:FROM_BYTE` or
+    /// `stall:MILLIS`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, value) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec '{spec}' is not KIND:VALUE"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("fault spec '{spec}': {e}"))?;
+        match kind {
+            "cut" => Ok(LinkFault::CutAfter { bytes: value }),
+            "flip" => Ok(LinkFault::FlipBits { from_byte: value }),
+            "stall" => Ok(LinkFault::StallMs { millis: value }),
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected cut | flip | stall)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkFault::CutAfter { bytes } => write!(f, "cut:{bytes}"),
+            LinkFault::FlipBits { from_byte } => write!(f, "flip:{from_byte}"),
+            LinkFault::StallMs { millis } => write!(f, "stall:{millis}"),
+        }
+    }
+}
+
 /// Seeded deterministic fault generator (SplitMix64 underneath).
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
@@ -164,6 +226,22 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn link_fault_specs_roundtrip() {
+        for (spec, want) in [
+            ("cut:64", LinkFault::CutAfter { bytes: 64 }),
+            ("flip:100", LinkFault::FlipBits { from_byte: 100 }),
+            ("stall:25", LinkFault::StallMs { millis: 25 }),
+        ] {
+            let parsed = LinkFault::parse(spec).unwrap();
+            assert_eq!(parsed, want);
+            assert_eq!(parsed.to_string(), spec);
+        }
+        assert!(LinkFault::parse("cut").is_err());
+        assert!(LinkFault::parse("cut:lots").is_err());
+        assert!(LinkFault::parse("melt:3").is_err());
+    }
 
     #[test]
     fn same_seed_same_fault_sequence() {

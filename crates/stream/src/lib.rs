@@ -38,7 +38,7 @@ pub mod zipf;
 
 pub use diff::{ChangeSpec, StreamPair};
 pub use exact::ExactCounter;
-pub use fault::{Fault, FaultInjector};
+pub use fault::{Fault, FaultInjector, LinkFault};
 pub use generators::{
     adversarial_boundary_stream, constant_stream, sequential_stream, uniform_stream,
 };

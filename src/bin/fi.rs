@@ -10,6 +10,10 @@
 //! fi top --snapshot s.csnp --snapshot-every 10000 log  # checkpoint as you go
 //! fi top --threads 4 access.log      # sharded multi-core ingestion
 //! fi inspect s.csnp                  # what's inside a snapshot?
+//! fi shard --sites 3 --out-prefix site access.log   # split by key shard
+//! fi serve --listen 127.0.0.1:7700 --sites 3 --quorum 2   # coordinator
+//! fi ship --to 127.0.0.1:7700 --site-id 0 --sites 3 site.0.txt  # agent
+//! fi coordinate site.0.txt site.1.txt site.2.txt    # in-process merge
 //! ```
 //!
 //! Exit codes: 0 success, 2 bad invocation, 3 I/O failure, 4 corrupt
@@ -24,9 +28,12 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: fi <top|diff|iceberg|inspect> [-k N] [-t ROWS] [-b BUCKETS] [--seed S] \
-                 [--phi P] [--eps E] [--algorithm A] [--threads N] [--snapshot PATH] \
-                 [--snapshot-every N] [--resume PATH] [FILE...]"
+                "usage: fi <top|diff|iceberg|inspect|serve|ship|coordinate|shard> [-k N] \
+                 [-t ROWS] [-b BUCKETS] [--seed S] [--phi P] [--eps E] [--algorithm A] \
+                 [--threads N] [--snapshot PATH] [--snapshot-every N] [--resume PATH] \
+                 [--listen ADDR] [--to ADDR] [--site-id I] [--sites N] [--quorum Q] \
+                 [--deadline-ms MS] [--tick-ms MS] [--timeout-ms MS] [--fault SPEC] \
+                 [--fault-seed S] [--out-prefix P] [FILE...]"
             );
             std::process::exit(cli::EXIT_USAGE);
         }

@@ -13,7 +13,20 @@
 //!     items above a frequency threshold
 //! fi inspect [-k N] SNAPSHOT
 //!     summarize a CSNP snapshot: header, geometry, health, top counters
+//! fi serve --listen ADDR --sites N [--quorum Q] [--deadline-ms MS] [...]
+//!     run the quorum coordinator; print the merged top-k when done
+//! fi ship --to ADDR --site-id I --sites N [--fault SPEC] [FILE]
+//!     sketch a local item file and ship it to the coordinator
+//! fi coordinate [-k N] FILE...
+//!     the in-process reference merge over the same site files
+//! fi shard --sites N --out-prefix P [FILE]
+//!     split an item file into per-site files by key shard
 //! ```
+//!
+//! `serve`/`ship` speak the CSWP framed protocol from [`cs_net`]; the
+//! report `serve` prints is **byte-identical** to `coordinate` run over
+//! the same per-site files (exclusion comment lines aside), which the
+//! CI net-smoke job asserts with a literal `diff`.
 //!
 //! `--resume` restores APPROXTOP state from a checksummed snapshot
 //! written by an earlier `--snapshot` run, so a long-lived counting job
@@ -113,6 +126,30 @@ pub struct Options {
     /// Ingestion worker threads (`top` with count-sketch only; 1 =
     /// sequential).
     pub threads: usize,
+    /// Coordinator listen address (`serve` only).
+    pub listen: Option<String>,
+    /// Coordinator address to ship to (`ship` only).
+    pub to: Option<String>,
+    /// This agent's site index (`ship` only).
+    pub site_id: Option<usize>,
+    /// Total sites in the deployment (`serve`, `ship`, `shard`).
+    pub sites: usize,
+    /// Minimum validated reports for a usable merge (`serve`; 0 = all
+    /// sites).
+    pub quorum: usize,
+    /// Collection deadline in milliseconds (`serve`).
+    pub deadline_ms: u64,
+    /// Milliseconds per logical coordinator/backoff tick.
+    pub tick_ms: u64,
+    /// Per-connection socket timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Link-fault spec for `ship` (`cut:BYTES` | `flip:FROM_BYTE` |
+    /// `stall:MILLIS`), pre-validated at parse time.
+    pub fault: Option<String>,
+    /// Seed for the link-fault injector.
+    pub fault_seed: u64,
+    /// Output path prefix for `shard` (`PREFIX.I.txt` per site).
+    pub out_prefix: Option<String>,
     /// Positional file arguments.
     pub files: Vec<String>,
 }
@@ -132,6 +169,17 @@ impl Default for Options {
             snapshot_every: 0,
             resume: None,
             threads: 1,
+            listen: None,
+            to: None,
+            site_id: None,
+            sites: 1,
+            quorum: 0,
+            deadline_ms: 10_000,
+            tick_ms: 50,
+            timeout_ms: 5_000,
+            fault: None,
+            fault_seed: 1,
+            out_prefix: None,
             files: Vec::new(),
         }
     }
@@ -143,11 +191,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it
         .next()
-        .ok_or_else(|| "missing subcommand (top | diff | iceberg | inspect)".to_string())?
+        .ok_or_else(|| {
+            "missing subcommand (top | diff | iceberg | inspect | serve | ship | coordinate | shard)"
+                .to_string()
+        })?
         .clone();
     if !matches!(
         opts.command.as_str(),
-        "top" | "diff" | "iceberg" | "inspect"
+        "top" | "diff" | "iceberg" | "inspect" | "serve" | "ship" | "coordinate" | "shard"
     ) {
         return Err(format!("unknown subcommand '{}'", opts.command));
     }
@@ -195,6 +246,51 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--listen" => opts.listen = Some(flag_value("--listen")?.clone()),
+            "--to" => opts.to = Some(flag_value("--to")?.clone()),
+            "--site-id" => {
+                opts.site_id = Some(
+                    flag_value("--site-id")?
+                        .parse()
+                        .map_err(|e| format!("--site-id: {e}"))?,
+                )
+            }
+            "--sites" => {
+                opts.sites = flag_value("--sites")?
+                    .parse()
+                    .map_err(|e| format!("--sites: {e}"))?
+            }
+            "--quorum" => {
+                opts.quorum = flag_value("--quorum")?
+                    .parse()
+                    .map_err(|e| format!("--quorum: {e}"))?
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = flag_value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--tick-ms" => {
+                opts.tick_ms = flag_value("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tick-ms: {e}"))?
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = flag_value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--fault" => {
+                let spec = flag_value("--fault")?.clone();
+                LinkFault::parse(&spec).map_err(|e| format!("--fault: {e}"))?;
+                opts.fault = Some(spec);
+            }
+            "--fault-seed" => {
+                opts.fault_seed = flag_value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--out-prefix" => opts.out_prefix = Some(flag_value("--out-prefix")?.clone()),
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             file => opts.files.push(file.to_string()),
         }
@@ -226,10 +322,54 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         // no mid-stream point at which a consistent snapshot exists.
         return Err("--snapshot-every requires --threads 1".into());
     }
+    if opts.sites == 0 {
+        return Err("--sites must be at least 1".into());
+    }
+    match opts.command.as_str() {
+        "serve" => {
+            if opts.listen.is_none() {
+                return Err("serve needs --listen ADDR".into());
+            }
+            if opts.quorum > opts.sites {
+                return Err(format!(
+                    "--quorum {} exceeds --sites {}",
+                    opts.quorum, opts.sites
+                ));
+            }
+            if !opts.files.is_empty() {
+                return Err("serve takes no input files".into());
+            }
+        }
+        "ship" => {
+            if opts.to.is_none() {
+                return Err("ship needs --to ADDR".into());
+            }
+            let site = opts.site_id.ok_or("ship needs --site-id I")?;
+            if site >= opts.sites {
+                return Err(format!(
+                    "--site-id {site} out of range for --sites {}",
+                    opts.sites
+                ));
+            }
+        }
+        "shard" => {
+            if opts.out_prefix.is_none() {
+                return Err("shard needs --out-prefix P".into());
+            }
+        }
+        _ => {
+            if opts.fault.is_some() {
+                return Err("--fault only applies to ship".into());
+            }
+        }
+    }
     match opts.command.as_str() {
         "diff" if opts.files.len() != 2 => Err("diff needs exactly two files".into()),
         "inspect" if opts.files.len() != 1 => Err("inspect needs exactly one snapshot file".into()),
-        "top" | "iceberg" if opts.files.len() > 1 => {
+        "coordinate" if opts.files.is_empty() => {
+            Err("coordinate needs at least one site file".into())
+        }
+        "top" | "iceberg" | "ship" | "shard" if opts.files.len() > 1 => {
             Err("at most one input file (or stdin)".into())
         }
         _ => Ok(opts),
@@ -299,6 +439,16 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
             Ok(run_iceberg(opts, &text))
         }
         "inspect" => run_inspect(opts),
+        "serve" => run_serve(opts),
+        "ship" => {
+            let text = read_input(opts.files.first())?;
+            run_ship(opts, &text)
+        }
+        "coordinate" => run_coordinate(opts),
+        "shard" => {
+            let text = read_input(opts.files.first())?;
+            run_shard(opts, &text)
+        }
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -517,6 +667,148 @@ pub fn run_inspect(opts: &Options) -> Result<String, CliError> {
     out.push_str(&format!("# top {} counters by |value|\n", opts.k));
     for &(row, bucket, value) in &info.top_counters {
         out.push_str(&format!("{value:>+12}  row {row}  bucket {bucket}\n"));
+    }
+    Ok(out)
+}
+
+/// Builds a [`ServeConfig`] from parsed options. `--quorum 0` (the
+/// default) means every site must report; `--deadline-ms` is converted
+/// to logical ticks at the configured tick rate.
+fn serve_config(opts: &Options) -> ServeConfig {
+    let quorum = if opts.quorum == 0 {
+        opts.sites
+    } else {
+        opts.quorum
+    };
+    let mut config = ServeConfig::new(
+        opts.sites,
+        quorum,
+        SketchParams::new(opts.rows, opts.buckets),
+        opts.seed,
+    );
+    config.tick_ms = opts.tick_ms.max(1);
+    config.deadline_ticks = (opts.deadline_ms / config.tick_ms).max(1);
+    config.timeout_ms = opts.timeout_ms;
+    config
+}
+
+/// Runs `fi serve`: binds the coordinator, collects site reports over
+/// the CSWP transport until quorum-or-deadline, and returns the merged
+/// top-k report (with `# excluded` lines for any dropped sites). The
+/// listening address goes to stderr before blocking so wrapper scripts
+/// can wait for readiness. A finished-below-quorum run maps to
+/// [`CliError::Corrupt`] (the merge is unusable), socket failures to
+/// [`CliError::Io`].
+pub fn run_serve(opts: &Options) -> Result<String, CliError> {
+    let addr = opts.listen.as_deref().expect("parse_args requires --listen");
+    let server = CoordinatorServer::bind(addr, serve_config(opts)).map_err(|e| CliError::Io {
+        path: addr.into(),
+        message: e.to_string(),
+    })?;
+    let local = server.local_addr().map_err(|e| CliError::Io {
+        path: addr.into(),
+        message: e.to_string(),
+    })?;
+    eprintln!(
+        "# coordinator listening on {local}: {} site(s), quorum {}",
+        opts.sites,
+        serve_config(opts).quorum
+    );
+    let outcome = server.run().map_err(|e| match e {
+        NetError::QuorumNotMet { .. } => CliError::Corrupt {
+            path: addr.into(),
+            message: e.to_string(),
+        },
+        other => CliError::Io {
+            path: addr.into(),
+            message: other.to_string(),
+        },
+    })?;
+    Ok(render_report(
+        &outcome.sketch,
+        opts.k,
+        &outcome.report.excluded,
+    ))
+}
+
+/// Runs `fi ship` over input text: sketches the site's local stream,
+/// ships the report to the coordinator with retry/backoff, and returns
+/// a one-line summary. `--fault SPEC` routes the connection through a
+/// misbehaving [`LinkFault`] link for fault-matrix experiments.
+pub fn run_ship(opts: &Options, text: &str) -> Result<String, CliError> {
+    let to = opts.to.as_deref().expect("parse_args requires --to");
+    let site_id = opts.site_id.expect("parse_args requires --site-id");
+    let (stream, _) = tokenize(text);
+    let report = site_report(
+        &stream,
+        opts.k,
+        SketchParams::new(opts.rows, opts.buckets),
+        opts.seed,
+    );
+    let mut agent = SiteAgent::new(site_id, opts.sites);
+    agent.tick_ms = opts.tick_ms.max(1);
+    agent.timeout_ms = opts.timeout_ms;
+    agent.fault_seed = opts.fault_seed;
+    if let Some(spec) = &opts.fault {
+        agent.fault = Some(LinkFault::parse(spec).map_err(CliError::Usage)?);
+    }
+    let outcome = agent.ship(to, &report).map_err(|e| CliError::Io {
+        path: to.into(),
+        message: e.to_string(),
+    })?;
+    let verdict = match outcome {
+        ShipOutcome::Accepted => "accepted",
+        ShipOutcome::Excluded => "excluded",
+    };
+    Ok(format!(
+        "# site {site_id}: shipped {} occurrences ({} candidates) to {to}: {verdict}\n",
+        report.local_n,
+        report.candidates.len()
+    ))
+}
+
+/// Runs `fi coordinate` over per-site item files: the in-process
+/// reference merge ([`DistributedSketch::coordinate`]) whose output the
+/// wire path (`serve` + `ship` over the same files, site `i` shipping
+/// file `i`) must reproduce byte-for-byte.
+pub fn run_coordinate(opts: &Options) -> Result<String, CliError> {
+    let params = SketchParams::new(opts.rows, opts.buckets);
+    let mut reports = Vec::with_capacity(opts.files.len());
+    for path in &opts.files {
+        let text = read_file(path)?;
+        let (stream, _) = tokenize(&text);
+        reports.push(site_report(&stream, opts.k, params, opts.seed));
+    }
+    let merged = DistributedSketch::coordinate(&reports)
+        .map_err(|e| CliError::Usage(format!("coordinate: {e}")))?;
+    Ok(render_report(&merged, opts.k, &[]))
+}
+
+/// Runs `fi shard` over input text: splits the items into `--sites`
+/// per-site files (`PREFIX.I.txt`, one token per line) by key shard, so
+/// every occurrence of a token lands on one site — the same
+/// [`cs_hash::shard_of`] routing the parallel ingestion pool uses.
+pub fn run_shard(opts: &Options, text: &str) -> Result<String, CliError> {
+    let prefix = opts
+        .out_prefix
+        .as_deref()
+        .expect("parse_args requires --out-prefix");
+    let mut shards: Vec<String> = vec![String::new(); opts.sites];
+    let mut counts = vec![0usize; opts.sites];
+    for tok in text.split_whitespace() {
+        let site = cs_hash::shard_of(ItemKey::of(tok), opts.sites);
+        shards[site].push_str(tok);
+        shards[site].push('\n');
+        counts[site] += 1;
+    }
+    let mut out = String::new();
+    for (i, content) in shards.iter().enumerate() {
+        let path = format!("{prefix}.{i}.txt");
+        std::fs::write(&path, content).map_err(|e| CliError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        out.push_str(&format!("{path}: {} occurrences\n", counts[i]));
     }
     Ok(out)
 }
@@ -855,6 +1147,152 @@ mod tests {
             Err(e @ CliError::Io { .. }) => assert_eq!(e.exit_code(), EXIT_IO),
             other => panic!("expected Io error, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_serve_subcommand() {
+        let o = parse_args(&args(
+            "serve --listen 127.0.0.1:7700 --sites 3 --quorum 2 --deadline-ms 2000 --tick-ms 5",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7700"));
+        assert_eq!((o.sites, o.quorum), (3, 2));
+        assert_eq!((o.deadline_ms, o.tick_ms), (2000, 5));
+        // Quorum defaults to all sites.
+        let all = parse_args(&args("serve --listen 127.0.0.1:0 --sites 3")).unwrap();
+        assert_eq!(serve_config(&all).quorum, 3);
+        assert!(parse_args(&args("serve --sites 3")).is_err());
+        assert!(parse_args(&args("serve --listen a --sites 2 --quorum 3")).is_err());
+        assert!(parse_args(&args("serve --listen a --sites 0")).is_err());
+        assert!(parse_args(&args("serve --listen a --sites 1 f.txt")).is_err());
+    }
+
+    #[test]
+    fn parse_ship_subcommand() {
+        let o = parse_args(&args(
+            "ship --to 127.0.0.1:7700 --site-id 1 --sites 3 --fault flip:100 --fault-seed 9 s.txt",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "ship");
+        assert_eq!(o.to.as_deref(), Some("127.0.0.1:7700"));
+        assert_eq!(o.site_id, Some(1));
+        assert_eq!(o.fault.as_deref(), Some("flip:100"));
+        assert_eq!(o.fault_seed, 9);
+        assert!(parse_args(&args("ship --site-id 0")).is_err());
+        assert!(parse_args(&args("ship --to a")).is_err());
+        assert!(parse_args(&args("ship --to a --site-id 3 --sites 3")).is_err());
+        // Fault specs are validated at parse time, and only for ship.
+        assert!(parse_args(&args("ship --to a --site-id 0 --fault melt:3")).is_err());
+        assert!(parse_args(&args("top --fault cut:10")).is_err());
+    }
+
+    #[test]
+    fn parse_coordinate_and_shard_subcommands() {
+        let o = parse_args(&args("coordinate -k 5 a.txt b.txt c.txt")).unwrap();
+        assert_eq!(o.command, "coordinate");
+        assert_eq!(o.files.len(), 3);
+        assert!(parse_args(&args("coordinate")).is_err());
+
+        let s = parse_args(&args("shard --sites 4 --out-prefix site in.txt")).unwrap();
+        assert_eq!(s.sites, 4);
+        assert_eq!(s.out_prefix.as_deref(), Some("site"));
+        assert!(parse_args(&args("shard --sites 4")).is_err());
+        assert!(parse_args(&args("shard --out-prefix p a.txt b.txt")).is_err());
+    }
+
+    #[test]
+    fn shard_then_coordinate_recovers_the_global_top_k() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("site").to_string_lossy().into_owned();
+        let text = "hot ".repeat(90) + &"warm ".repeat(40) + &"cold ".repeat(5);
+
+        let shard_opts = Options {
+            command: "shard".into(),
+            sites: 3,
+            out_prefix: Some(prefix.clone()),
+            ..Default::default()
+        };
+        let summary = run_shard(&shard_opts, &text).unwrap();
+        assert_eq!(summary.lines().count(), 3, "{summary}");
+
+        let coord_opts = Options {
+            command: "coordinate".into(),
+            k: 2,
+            files: (0..3).map(|i| format!("{prefix}.{i}.txt")).collect(),
+            ..Default::default()
+        };
+        let report = run_coordinate(&coord_opts).unwrap();
+        assert!(
+            report.starts_with("# top-2 of 135 occurrences across 3 site(s)"),
+            "{report}"
+        );
+        let first = report.lines().nth(1).unwrap();
+        assert!(first.trim().starts_with("90"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_ship_over_loopback_match_coordinate() {
+        let dir = std::env::temp_dir().join(format!("fi-cli-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("site").to_string_lossy().into_owned();
+        let text = "hot ".repeat(80) + &"warm ".repeat(30) + &"cold ".repeat(9);
+        let shard_opts = Options {
+            command: "shard".into(),
+            sites: 2,
+            out_prefix: Some(prefix.clone()),
+            ..Default::default()
+        };
+        run_shard(&shard_opts, &text).unwrap();
+
+        // Pre-bind on port 0 to learn a free port, matching the CI flow.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let serve_opts = Options {
+            command: "serve".into(),
+            k: 2,
+            listen: Some(addr.clone()),
+            sites: 2,
+            tick_ms: 2,
+            deadline_ms: 5_000,
+            ..Default::default()
+        };
+        let server = std::thread::spawn(move || run_serve(&serve_opts));
+        let mut shippers = Vec::new();
+        for i in 0..2 {
+            let text = std::fs::read_to_string(format!("{prefix}.{i}.txt")).unwrap();
+            let opts = Options {
+                command: "ship".into(),
+                k: 2,
+                to: Some(addr.clone()),
+                site_id: Some(i),
+                sites: 2,
+                tick_ms: 1,
+                ..Default::default()
+            };
+            shippers.push(std::thread::spawn(move || run_ship(&opts, &text)));
+        }
+        for s in shippers {
+            let line = s.join().unwrap().unwrap();
+            assert!(line.contains("accepted"), "{line}");
+        }
+        let served = server.join().unwrap().unwrap();
+
+        let coord_opts = Options {
+            command: "coordinate".into(),
+            k: 2,
+            files: (0..2).map(|i| format!("{prefix}.{i}.txt")).collect(),
+            ..Default::default()
+        };
+        assert_eq!(
+            served,
+            run_coordinate(&coord_opts).unwrap(),
+            "wire report must be byte-identical to the in-process merge"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

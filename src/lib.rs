@@ -16,6 +16,7 @@
 //! | [`stream`] | `cs-stream` | streams, Zipf generators, exact oracle, moments |
 //! | [`hash`] | `cs-hash` | pairwise/k-wise families, sign hashes, tabulation |
 //! | [`metrics`] | `cs-metrics` | recall/error metrics, Table 1 theory, tables |
+//! | [`net`] | `cs-net` | CSWP wire protocol, site agents, quorum coordinator server |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,12 @@ pub mod metrics {
     pub use cs_metrics::*;
 }
 
+/// Wire transport for distributed sketch shipping (re-export of
+/// `cs-net`).
+pub mod net {
+    pub use cs_net::*;
+}
+
 /// The most common imports.
 pub mod prelude {
     pub use cs_baselines::StreamSummary;
@@ -73,7 +80,8 @@ pub mod prelude {
     pub use cs_core::builder::CountSketchBuilder;
     pub use cs_core::candidate_top::{candidate_top_one_pass, candidate_top_two_pass};
     pub use cs_core::distributed::{
-        ExclusionReason, MergeReport, QuorumCoordinator, QuorumOutcome, RetryPolicy,
+        site_report, DistributedSketch, ExclusionReason, MergeReport, QuorumCoordinator,
+        QuorumOutcome, RetryPolicy, SiteReport,
     };
     pub use cs_core::approx_top::HeapPolicy;
     pub use cs_core::maxchange::{max_change, DiffSketch, MaxChangeResult};
@@ -93,7 +101,12 @@ pub mod prelude {
     };
     pub use cs_core::{CoreError, CountSketch, FastCountSketch, SketchParams};
     pub use cs_hash::ItemKey;
-    pub use cs_stream::{ExactCounter, Fault, FaultInjector, Stream, Zipf, ZipfStreamKind};
+    pub use cs_net::{
+        render_report, CoordinatorServer, NetError, ServeConfig, ShipOutcome, SiteAgent,
+    };
+    pub use cs_stream::{
+        ExactCounter, Fault, FaultInjector, LinkFault, Stream, Zipf, ZipfStreamKind,
+    };
 }
 
 #[cfg(test)]
